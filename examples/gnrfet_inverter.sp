@@ -1,0 +1,10 @@
+* GNRFET inverter in the SPICE-dialect front-end
+* run with:  dune exec bin/gnrfet_cli.exe -- simulate examples/gnrfet_inverter.sp --probe out
+* models: nfet/pfet = nominal 4-GNR array at operating point B; cmos22n/p = 22nm node
+VDD vdd 0 DC 0.4
+VIN in 0 PULSE(0 0.4 10p 5p 5p 40p)
+M1 out in 0 nfet
+M2 out in vdd pfet
+C1 out 0 10a
+.tran 0.5p 100p
+.end
