@@ -1,0 +1,106 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   times the computational kernel behind each with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 full reproduction + benchmarks
+     GNRFET_BENCH_FAST=1 dune exec bench/main.exe   benchmarks only
+
+   The first run generates the device-table cache (about 12 minutes on one
+   core; `dune exec bin/gen_tables.exe` does the same ahead of time);
+   subsequent runs load it from _tables/. *)
+
+open Bechamel
+
+let kernels : (string * (unit -> float)) list =
+  [
+    ("fig2a:scf-iv-sweep", Exp_fig2a.bench_kernel);
+    ("fig2b:vt-extraction", Exp_fig2b.bench_kernel);
+    ("fig3b:explore-cell", Exp_fig3b.bench_kernel);
+    ("table1:cmos-ro-metrics", Exp_table1.bench_kernel);
+    ("fig4:table-lookup", Exp_fig4.bench_kernel);
+    ("fig5:impurity-scf", Exp_fig5.bench_kernel);
+    ("table2-4:variant-inverter", Exp_tables234.bench_kernel);
+    ("fig6:montecarlo-50", Exp_fig6.bench_kernel);
+    ("fig7:latch-snm", Exp_fig7.bench_kernel);
+    (* Ablation benches for the design choices DESIGN.md calls out. *)
+    ( "ablation:mode-count",
+      fun () ->
+        match Ablations.mode_count ~indices:[ 1 ] () with
+        | [ r ] -> r.Ablations.ion
+        | _ -> 0. );
+    ( "ablation:contact-style",
+      fun () ->
+        match Ablations.contact_style () with
+        | r :: _ -> r.Ablations.ion
+        | [] -> 0. );
+    ( "ablation:scf-mixing",
+      fun () ->
+        match Ablations.mixing () with
+        | r :: _ -> float_of_int r.Ablations.iterations
+        | [] -> 0. );
+    ( "extension:roughness",
+      fun () ->
+        (Roughness.transmission_study ~realizations:10 ~n_sites:80 ~gnr_index:12
+           ~sigma:0.05 ~corr_sites:5 ())
+          .Roughness.mean_transmission );
+  ]
+
+let tests =
+  List.map
+    (fun (name, kernel) ->
+      Test.make ~name (Staged.stage (fun () -> ignore (Sys.opaque_identity (kernel ())))))
+    kernels
+
+let run_benchmarks () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:8 ~quota:(Time.second 2.0) ~kde:None ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n== kernel timings (Bechamel, monotonic clock) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name m ->
+          let analysis = Analyze.one ols instance m in
+          match Analyze.OLS.estimates analysis with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.3f ms/run\n%!" name (est /. 1e6)
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let fast = Sys.getenv_opt "GNRFET_BENCH_FAST" <> None in
+  Printf.printf
+    "GNRFET technology exploration - benchmark & reproduction harness\n";
+  Printf.printf "device-table cache: %s\n%!" (Table_cache.cache_dir ());
+  let t0 = Unix.gettimeofday () in
+  if not fast then begin
+    Printf.printf "\n== full reproduction of every paper table and figure ==\n%!";
+    All_experiments.run_all Format.std_formatter;
+    Printf.printf "\n== design-choice ablations ==\n%!";
+    Ablations.print_all Format.std_formatter;
+    Printf.printf "\n== extension: edge-roughness study (paper ref [17]) ==\n%!";
+    List.iter
+      (fun sigma ->
+        let s =
+          Roughness.transmission_study ~gnr_index:12 ~sigma ~corr_sites:6 ()
+        in
+        Printf.printf
+          "  sigma = %.2f: <T> = %.3f +- %.3f (%.0f%% of ideal), Lloc ~ %s\n%!"
+          sigma s.Roughness.mean_transmission s.Roughness.std_transmission
+          (100. *. s.Roughness.mean_ratio)
+          (if Float.is_finite s.Roughness.localization_estimate then
+             Printf.sprintf "%.0f nm" (s.Roughness.localization_estimate /. 1e-9)
+           else "ballistic"))
+      [ 0.01; 0.03; 0.06; 0.1 ]
+  end;
+  (* Warm the caches the kernels rely on so Bechamel times steady-state
+     behaviour rather than first-touch table generation. *)
+  List.iter (fun (_, k) -> ignore (k ())) kernels;
+  run_benchmarks ();
+  Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,17 @@
+(* Pre-generate the device-table cache for every experiment variant.
+   Usage: dune exec bin/gen_tables.exe   (respects GNRFET_TABLE_DIR) *)
+
+let () =
+  let variants = Variants.all_for_experiments in
+  Printf.printf "Generating %d device tables into %s (domains: %d)...\n%!"
+    (List.length variants)
+    (Table_cache.cache_dir ())
+    (Parallel.num_domains ());
+  let t0 = Unix.gettimeofday () in
+  let tables = Table_cache.get_many variants in
+  List.iter2
+    (fun p (t : Iv_table.t) ->
+      let ion = Iv_table.current_at t ~vg:0.75 ~vd:0.5 in
+      Format.printf "  %a  Ion(0.75,0.5)=%.3g A@." Params.pp p ion)
+    variants tables;
+  Printf.printf "done in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,333 @@
+(* Command-line interface to the GNRFET technology-exploration framework.
+
+   Subcommands:
+     bands       band structure / gaps of A-GNRs
+     iv          self-consistent I-V sweep of an intrinsic device
+     vt          threshold extraction
+     explore     VDD-VT exploration summary
+     tables      pre-generate the device-table cache
+     experiment  reproduce one (or all) paper tables/figures
+     mc          Monte Carlo on the 15-stage ring oscillator
+     export      dump a device table as CSV
+     simulate    run a SPICE-dialect deck on the circuit engine
+     roughness   edge-roughness transmission study (extension)
+     ablations   design-choice ablation studies
+     latch-write dynamic latch write experiment (extension) *)
+
+open Cmdliner
+
+let index_arg =
+  let doc = "A-GNR index N (dimer lines across the width)." in
+  Arg.(value & opt int 12 & info [ "n"; "index" ] ~docv:"N" ~doc)
+
+let charge_arg =
+  let doc = "Oxide charge impurity in units of |q| (0, ±1, ±2)." in
+  Arg.(value & opt float 0. & info [ "c"; "charge" ] ~docv:"Q" ~doc)
+
+let params_of index charge =
+  let p = Params.default ~gnr_index:index () in
+  if charge = 0. then p else Params.with_impurity_charge p charge
+
+(* bands *)
+let bands_cmd =
+  let run index =
+    let tb = Tight_binding.make index in
+    let b = Bands.compute ~nk:65 tb in
+    Printf.printf "A-GNR N=%d: width %.3f nm, gap %.4f eV (family %s)\n" index
+      (Lattice.width index /. 1e-9)
+      (Bands.band_gap b)
+      (match Lattice.family index with
+      | Lattice.Family_3q -> "3q"
+      | Lattice.Family_3q1 -> "3q+1"
+      | Lattice.Family_3q2 -> "3q+2");
+    let ms = Modespace.reduce index in
+    Array.iter
+      (fun (m : Modespace.mode) ->
+        Printf.printf "  subband %d: min %.4f eV, max %.4f eV (chain t1=%.3f t2=%.3f)\n"
+          m.Modespace.index m.Modespace.delta m.Modespace.emax m.Modespace.t1
+          m.Modespace.t2)
+      ms.Modespace.modes
+  in
+  Cmd.v (Cmd.info "bands" ~doc:"A-GNR band structure and mode-space parameters")
+    Term.(const run $ index_arg)
+
+(* iv *)
+let iv_cmd =
+  let vd_arg =
+    Arg.(value & opt float 0.5 & info [ "vd" ] ~docv:"VD" ~doc:"Drain bias (V).")
+  in
+  let points_arg =
+    Arg.(value & opt int 16 & info [ "points" ] ~docv:"K" ~doc:"Sweep points.")
+  in
+  let run index charge vd points =
+    let p = params_of index charge in
+    Format.printf "%a, VD = %g V@." Params.pp p vd;
+    let init = ref None in
+    Array.iter
+      (fun vg ->
+        let s = Scf.solve ?init:!init p ~vg ~vd in
+        init := Some s.Scf.potential;
+        Printf.printf "  VG=%6.3f  ID=%12.5g A   Q=%12.5g C   (%d iters)\n%!" vg
+          s.Scf.current s.Scf.charge s.Scf.iterations)
+      (Vec.linspace 0. 0.75 points)
+  in
+  Cmd.v (Cmd.info "iv" ~doc:"Self-consistent NEGF-Poisson I-V sweep")
+    Term.(const run $ index_arg $ charge_arg $ vd_arg $ points_arg)
+
+(* vt *)
+let vt_cmd =
+  let offset_arg =
+    Arg.(value & opt float 0. & info [ "offset" ] ~docv:"V" ~doc:"Gate work-function offset (V).")
+  in
+  let run index offset =
+    let p = { (Params.default ~gnr_index:index ()) with Params.gate_offset = offset } in
+    Printf.printf "VT(N=%d, offset=%g V) = %.3f V\n" index offset (Vt.extract p)
+  in
+  Cmd.v (Cmd.info "vt" ~doc:"Threshold-voltage extraction (Fig 2(b) method)")
+    Term.(const run $ index_arg $ offset_arg)
+
+(* explore *)
+let explore_cmd =
+  let nv_arg =
+    Arg.(value & opt int 7 & info [ "grid" ] ~docv:"K" ~doc:"Grid points per axis.")
+  in
+  let run nv =
+    let table = Table_cache.get (Params.default ()) in
+    let s =
+      Explore.surface ~vdds:(Vec.linspace 0.1 0.7 nv) ~vts:(Vec.linspace 0. 0.3 nv)
+        table
+    in
+    let m = Explore.min_edp s in
+    Printf.printf "minimum EDP: VDD=%.3f VT=%.3f EDP=%.3g fJ-ps\n" m.Explore.vdd
+      m.Explore.vt
+      (m.Explore.value /. 1e-27);
+    (match Explore.min_edp_at_frequency_and_snm s ~ghz:3. ~snm:0.1 with
+    | Some b ->
+      Printf.printf "point B:     VDD=%.3f VT=%.3f EDP=%.3g fJ-ps\n" b.Explore.vdd
+        b.Explore.vt
+        (b.Explore.value /. 1e-27)
+    | None -> print_endline "point B: not found on this grid")
+  in
+  Cmd.v (Cmd.info "explore" ~doc:"VDD-VT technology exploration (Fig 3(b))")
+    Term.(const run $ nv_arg)
+
+(* tables *)
+let tables_cmd =
+  let run () =
+    let variants = Variants.all_for_experiments in
+    Printf.printf "generating %d tables into %s...\n%!" (List.length variants)
+      (Table_cache.cache_dir ());
+    ignore (Table_cache.get_many variants);
+    print_endline "done"
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Pre-generate the device-table cache")
+    Term.(const run $ const ())
+
+(* experiment *)
+let experiment_cmd =
+  let which_arg =
+    let doc = "Experiment id (fig2a fig2b fig3b table1 fig4 fig5 table2 table3 table4 fig6 fig7) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run which =
+    let ppf = Format.std_formatter in
+    if String.equal which "all" then All_experiments.run_all ppf
+    else begin
+      match All_experiments.of_name which with
+      | Some id -> All_experiments.run_and_print ppf id
+      | None -> Format.printf "unknown experiment: %s@." which
+    end
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce a paper table or figure")
+    Term.(const run $ which_arg)
+
+(* mc *)
+let mc_cmd =
+  let samples_arg =
+    Arg.(value & opt int 500 & info [ "samples" ] ~docv:"K" ~doc:"Monte Carlo samples.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+  in
+  let run samples seed =
+    let r = Exp_fig6.run ~samples ~seed () in
+    Exp_fig6.print Format.std_formatter r
+  in
+  Cmd.v (Cmd.info "mc" ~doc:"Monte Carlo ring-oscillator study (Fig 6)")
+    Term.(const run $ samples_arg $ seed_arg)
+
+(* export *)
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run index charge out =
+    let table = Table_cache.get (params_of index charge) in
+    let csv = Iv_table.to_csv table in
+    match out with
+    | None -> print_string csv
+    | Some path ->
+      let oc = open_out path in
+      output_string oc csv;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Dump a device I-V/Q-V table as CSV")
+    Term.(const run $ index_arg $ charge_arg $ out_arg)
+
+(* simulate *)
+let simulate_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"SPICE-dialect netlist file.")
+  in
+  let probe_arg =
+    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"NODE" ~doc:"Node to print (default: all).")
+  in
+  let run file probe =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let deck = Spice_deck.parse text in
+    (* FET models: nfet/pfet resolve to the nominal 4-GNR device at the
+       paper's operating point B; cmos22n/cmos22p to the 22nm node. *)
+    let models name =
+      let gnr polarity =
+        let table = Table_cache.get (Params.default ()) in
+        let shift = Gnr_model.shift_for_vt table 0.13 in
+        Some (Gnr_model.array_fet ~polarity ~vt_shift:shift [ table; table; table; table ])
+      in
+      match String.lowercase_ascii name with
+      | "nfet" | "gnrn" -> gnr Gnr_model.N_type
+      | "pfet" | "gnrp" -> gnr Gnr_model.P_type
+      | "cmos22n" -> Some (Node.nfet Node.n22)
+      | "cmos22p" -> Some (Node.pfet Node.n22)
+      | _ -> None
+    in
+    let built = Spice_deck.build deck ~models in
+    let print_state label state =
+      Printf.printf "%s\n" label;
+      (match probe with
+      | Some name ->
+        Printf.printf "  v(%s) = %.6g V\n" name (state.(built.Spice_deck.node_of name))
+      | None ->
+        Array.iteri (fun i v -> Printf.printf "  node %d: %.6g V\n" i v) state)
+    in
+    if deck.Spice_deck.analyses = [] then
+      print_state "DC operating point:" (Mna.solve_dc built.Spice_deck.net)
+    else
+      List.iter
+        (fun analysis ->
+          match analysis with
+          | Spice_deck.Tran { dt; t_stop } ->
+            let wf = Mna.transient built.Spice_deck.net ~t_stop ~dt in
+            Printf.printf ".tran %g %g\n" dt t_stop;
+            let n = Array.length wf.Mna.times in
+            let stride = max 1 (n / 20) in
+            for k = 0 to n - 1 do
+              if k mod stride = 0 || k = n - 1 then begin
+                match probe with
+                | Some name ->
+                  Printf.printf "  t=%.4g  v(%s)=%.5g\n" wf.Mna.times.(k) name
+                    wf.Mna.voltages.(k).(built.Spice_deck.node_of name)
+                | None -> Printf.printf "  t=%.4g\n" wf.Mna.times.(k)
+              end
+            done
+          | Spice_deck.Dc_sweep { source; start; stop; step } ->
+            Printf.printf ".dc %s %g -> %g\n" source start stop;
+            let node = built.Spice_deck.source_node source in
+            ignore node;
+            let v = ref start in
+            while !v <= stop +. 1e-12 do
+              (* Ground-referenced sweeps reuse the time-as-value trick is
+                 not applicable here; rebuild cheaply per point. *)
+              let deck' =
+                { deck with
+                  Spice_deck.cards =
+                    List.map
+                      (fun c ->
+                        match c with
+                        | Spice_deck.Source { name; node; wave = _ }
+                          when String.equal name source ->
+                          Spice_deck.Source { name; node; wave = Spice_deck.Dc !v }
+                        | other -> other)
+                      deck.Spice_deck.cards }
+              in
+              let b = Spice_deck.build deck' ~models in
+              let state = Mna.solve_dc b.Spice_deck.net in
+              (match probe with
+              | Some name ->
+                Printf.printf "  %s=%.4g  v(%s)=%.5g\n" source !v name
+                  state.(b.Spice_deck.node_of name)
+              | None -> Printf.printf "  %s=%.4g\n" source !v);
+              v := !v +. step
+            done)
+        deck.Spice_deck.analyses
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a SPICE-dialect deck (R/C/V/M cards)")
+    Term.(const run $ file_arg $ probe_arg)
+
+(* roughness *)
+let roughness_cmd =
+  let sigma_arg =
+    Arg.(value & opt float 0.03 & info [ "sigma" ] ~docv:"S" ~doc:"Relative hopping disorder.")
+  in
+  let corr_arg =
+    Arg.(value & opt int 6 & info [ "corr" ] ~docv:"L" ~doc:"Correlation length (sites).")
+  in
+  let run index sigma corr =
+    let s =
+      Roughness.transmission_study ~gnr_index:index ~sigma ~corr_sites:corr ()
+    in
+    Printf.printf
+      "N=%d, sigma=%.3g, corr=%d sites: <T> = %.4f +- %.4f (%.1f%% of ideal), Lloc ~ %s\n"
+      index sigma corr s.Roughness.mean_transmission s.Roughness.std_transmission
+      (100. *. s.Roughness.mean_ratio)
+      (if Float.is_finite s.Roughness.localization_estimate then
+         Printf.sprintf "%.0f nm" (s.Roughness.localization_estimate /. 1e-9)
+       else "ballistic")
+  in
+  Cmd.v (Cmd.info "roughness" ~doc:"Edge-roughness transmission study")
+    Term.(const run $ index_arg $ sigma_arg $ corr_arg)
+
+(* ablations *)
+let ablations_cmd =
+  let run () = Ablations.print_all Format.std_formatter in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design-choice ablation studies")
+    Term.(const run $ const ())
+
+(* latch-write *)
+let latch_write_cmd =
+  let pulse_arg =
+    Arg.(value & opt float 20e-12 & info [ "pulse" ] ~docv:"SECONDS" ~doc:"Write pulse width.")
+  in
+  let worst_arg =
+    Arg.(value & flag & info [ "worst" ] ~doc:"Use the worst-case variant latch.")
+  in
+  let run pulse worst =
+    let n_spec, p_spec =
+      if worst then
+        ({ Variation.gnr_index = 9; charge = 1. }, { Variation.gnr_index = 18; charge = -1. })
+      else (Variation.nominal_spec, Variation.nominal_spec)
+    in
+    let r =
+      Variation.latch_write ~n_spec ~p_spec ~all_four:worst ~pulse_width:pulse ()
+    in
+    Printf.printf "pulse %.3g s on %s latch: %s (settled %.3g s)\n" pulse
+      (if worst then "worst-case" else "nominal")
+      (if r.Variation.flipped then "WRITE OK" else "write failed")
+      r.Variation.settle;
+    let wmin = Variation.minimum_write_pulse ~n_spec ~p_spec ~all_four:worst () in
+    Printf.printf "minimum write pulse: %.3g s\n" wmin
+  in
+  Cmd.v (Cmd.info "latch-write" ~doc:"Dynamic latch write experiment")
+    Term.(const run $ pulse_arg $ worst_arg)
+
+let main =
+  let info =
+    Cmd.info "gnrfet_cli" ~version:"1.0.0"
+      ~doc:"Technology exploration for graphene nanoribbon FETs (DAC 2008 reproduction)"
+  in
+  Cmd.group info
+    [ bands_cmd; iv_cmd; vt_cmd; explore_cmd; tables_cmd; experiment_cmd;
+      mc_cmd; export_cmd; simulate_cmd; roughness_cmd; ablations_cmd;
+      latch_write_cmd ]
+
+let () = exit (Cmd.eval main)

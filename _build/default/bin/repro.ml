@@ -1,0 +1,19 @@
+(* Full paper reproduction: every table and figure, in order.
+   Usage: dune exec bin/repro.exe [experiment-name ...] *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ppf = Format.std_formatter in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] -> All_experiments.run_all ppf
+  | names ->
+    List.iter
+      (fun n ->
+        match All_experiments.of_name n with
+        | Some id -> All_experiments.run_and_print ppf id
+        | None ->
+          Format.fprintf ppf "unknown experiment %s (known: %s)@." n
+            (String.concat ", " (List.map All_experiments.name All_experiments.all)))
+      names);
+  Format.fprintf ppf "@.[total: %.1f s]@." (Unix.gettimeofday () -. t0)

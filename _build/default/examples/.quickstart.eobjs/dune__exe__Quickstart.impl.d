@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bands Const Explore Format Gnr_model Lattice Metrics Params Printf Scf Table_cache

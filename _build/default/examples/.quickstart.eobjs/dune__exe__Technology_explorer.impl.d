@@ -1,0 +1,1 @@
+examples/technology_explorer.ml: Array Explore Params Printf Table_cache Vec

@@ -1,0 +1,1 @@
+examples/variability_study.ml: Metrics Printf Variation

@@ -1,0 +1,1 @@
+examples/variability_study.mli:

@@ -1,0 +1,38 @@
+(* Quickstart: from atomistic ribbon to a switching inverter in ~40 lines.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The first run generates the N=12 device table with the self-consistent
+   NEGF-Poisson solver (about a minute); later runs load it from the
+   _tables/ cache instantly. *)
+
+let () =
+  (* 1. The material: an N = 12 armchair graphene nanoribbon. *)
+  let n = 12 in
+  Printf.printf "A-GNR N=%d: width %.2f nm, band gap %.3f eV\n%!" n
+    (Lattice.width n /. Const.nm)
+    (Bands.gap_of_index n);
+
+  (* 2. The device: the paper's 15 nm double-gate Schottky-barrier FET. *)
+  let device = Params.default ~gnr_index:n () in
+  Format.printf "device: %a@." Params.pp device;
+  let on = Scf.solve device ~vg:0.5 ~vd:0.5 in
+  Printf.printf "one bias point: ID(VG=VD=0.5V) = %.3g A (%d SCF iterations)\n%!"
+    on.Scf.current on.Scf.iterations;
+
+  (* 3. The lookup table (cached on disk after the first run). *)
+  let table = Table_cache.get device in
+  Printf.printf "table ready; VT = %.3f V\n%!" (Gnr_model.vt_nominal table);
+
+  (* 4. A complementary 4-GNR-array inverter at the paper's operating
+     point B (VDD = 0.4 V, VT = 0.13 V). *)
+  let pair = Explore.pair_at table ~vt:0.13 in
+  let m = Metrics.inverter_metrics ~pair ~vdd:0.4 () in
+  Printf.printf
+    "FO4 inverter @ VDD=0.4V: delay %.2f ps, leakage %.3g uW, SNM %.3f V\n%!"
+    (m.Metrics.tp *. 1e12)
+    (m.Metrics.p_static /. 1e-6)
+    m.Metrics.snm;
+  Printf.printf "implied 15-stage RO frequency: %.2f GHz,  EDP: %.1f fJ-ps\n%!"
+    (Metrics.ro_frequency m ~stages:15 /. 1e9)
+    (Metrics.edp m ~stages:15 /. 1e-27)

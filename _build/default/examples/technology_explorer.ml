@@ -1,0 +1,44 @@
+(* Technology exploration (Section 3.1 of the paper): sweep the (VDD, VT)
+   plane, print the energy-delay-product landscape, and pick an operating
+   point that balances speed, energy and noise robustness.
+
+   Run with:  dune exec examples/technology_explorer.exe *)
+
+let () =
+  let table = Table_cache.get (Params.default ()) in
+  Printf.printf "sweeping VDD x VT (7 x 7 grid, 15-stage FO4 ring oscillator)...\n%!";
+  let s =
+    Explore.surface
+      ~vdds:(Vec.linspace 0.2 0.6 7)
+      ~vts:(Vec.linspace 0.02 0.26 7)
+      table
+  in
+  (* The ln(EDP) landscape, as contoured in Fig 3(b). *)
+  Printf.printf "\nln(EDP [aJ-ps]) (rows VDD high->low, cols VT low->high):\n";
+  Printf.printf "        ";
+  Array.iter (fun vt -> Printf.printf "%7.2f" vt) s.Explore.vts;
+  print_newline ();
+  for i = Array.length s.Explore.vdds - 1 downto 0 do
+    Printf.printf "VDD %.2f " s.Explore.vdds.(i);
+    Array.iter
+      (fun p -> Printf.printf "%7.2f" (Explore.edp_ln_aj_ps p))
+      s.Explore.points.(i);
+    print_newline ()
+  done;
+  let m = Explore.min_edp s in
+  Printf.printf "\nunconstrained EDP minimum: VDD=%.2f V, VT=%.2f V (EDP %.1f fJ-ps)\n"
+    m.Explore.vdd m.Explore.vt
+    (m.Explore.value /. 1e-27);
+  (* Constrained choices, like the paper's points A and B. *)
+  (match Explore.min_edp_at_frequency s ~ghz:3. with
+  | Some a ->
+    Printf.printf "point A (3 GHz, min EDP):        VDD=%.2f VT=%.2f EDP=%.1f fJ-ps\n"
+      a.Explore.vdd a.Explore.vt
+      (a.Explore.value /. 1e-27)
+  | None -> print_endline "no 3 GHz point on this grid");
+  match Explore.min_edp_at_frequency_and_snm s ~ghz:3. ~snm:0.08 with
+  | Some b ->
+    Printf.printf "point B (3 GHz with SNM floor):  VDD=%.2f VT=%.2f EDP=%.1f fJ-ps\n"
+      b.Explore.vdd b.Explore.vt
+      (b.Explore.value /. 1e-27)
+  | None -> print_endline "no SNM-constrained point on this grid"

@@ -1,0 +1,1 @@
+lib/circuit/fet_model.ml: List

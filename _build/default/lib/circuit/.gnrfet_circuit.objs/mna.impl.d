@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Buffer Fet_model Float Fun List Matrix Netlist Printf Sys Vec

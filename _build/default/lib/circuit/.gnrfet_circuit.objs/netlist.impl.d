@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Fet_model List

@@ -1,0 +1,1 @@
+lib/circuit/snm.ml: Array Float Vec

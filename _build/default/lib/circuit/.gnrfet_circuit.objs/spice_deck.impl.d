@@ -1,0 +1,1 @@
+lib/circuit/spice_deck.ml: Float Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/circuit/spice_deck.mli: Fet_model Netlist

@@ -1,0 +1,77 @@
+let crossings ~times ~values ~level ~rising =
+  let n = Array.length times in
+  if Array.length values <> n then invalid_arg "Measure.crossings: length mismatch";
+  let out = ref [] in
+  for k = 0 to n - 2 do
+    let a = values.(k) -. level and b = values.(k + 1) -. level in
+    let crosses = if rising then a < 0. && b >= 0. else a > 0. && b <= 0. in
+    if crosses && b <> a then begin
+      let t = times.(k) +. ((times.(k + 1) -. times.(k)) *. (-.a /. (b -. a))) in
+      out := t :: !out
+    end
+  done;
+  List.rev !out
+
+let delay_levels ~times ~input ~output ~in_level ~out_level ~input_rising =
+  match crossings ~times ~values:input ~level:in_level ~rising:input_rising with
+  | [] -> None
+  | t_in :: _ -> begin
+    let outs =
+      crossings ~times ~values:output ~level:out_level ~rising:(not input_rising)
+    in
+    (* The response of a heavily skewed cell can cross its threshold
+       slightly before the input does (a negative propagation delay), so
+       pair the input edge with the *nearest* opposite-direction output
+       crossing rather than the first later one. *)
+    let best =
+      List.fold_left
+        (fun acc t ->
+          match acc with
+          | Some b when Float.abs (b -. t_in) <= Float.abs (t -. t_in) -> acc
+          | Some _ | None -> Some t)
+        None outs
+    in
+    match best with Some t_out -> Some (t_out -. t_in) | None -> None
+  end
+
+let delay_50 ~times ~input ~output ~vdd ~input_rising =
+  let level = vdd /. 2. in
+  delay_levels ~times ~input ~output ~in_level:level ~out_level:level ~input_rising
+
+let period ~times ~values ~level =
+  match crossings ~times ~values ~level ~rising:true with
+  | _ :: _ :: _ :: _ as ts ->
+    let rec gaps = function
+      | a :: (b :: _ as tl) -> (b -. a) :: gaps tl
+      | [ _ ] | [] -> []
+    in
+    let ds = Array.of_list (gaps ts) in
+    Array.sort compare ds;
+    Some ds.(Array.length ds / 2)
+  | _ -> None
+
+let average ~times ~values ~t_from =
+  let n = Array.length times in
+  if Array.length values <> n then invalid_arg "Measure.average: length mismatch";
+  let acc = ref 0. and span = ref 0. in
+  for k = 0 to n - 2 do
+    if times.(k) >= t_from then begin
+      let h = times.(k + 1) -. times.(k) in
+      acc := !acc +. (0.5 *. h *. (values.(k) +. values.(k + 1)));
+      span := !span +. h
+    end
+  done;
+  if !span > 0. then !acc /. !span
+  else if n > 0 then values.(n - 1)
+  else invalid_arg "Measure.average: empty trace"
+
+let energy ~times ~current ~volts ~t_from ~t_to =
+  let n = Array.length times in
+  if Array.length current <> n then invalid_arg "Measure.energy: length mismatch";
+  let acc = ref 0. in
+  for k = 0 to n - 2 do
+    let t0 = times.(k) and t1 = times.(k + 1) in
+    if t0 >= t_from && t1 <= t_to then
+      acc := !acc +. (0.5 *. (t1 -. t0) *. (current.(k) +. current.(k + 1)) *. volts)
+  done;
+  !acc

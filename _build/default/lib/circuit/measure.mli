@@ -1,0 +1,42 @@
+(** Waveform measurements: delays, oscillation periods, powers. *)
+
+val crossings :
+  times:float array -> values:float array -> level:float -> rising:bool -> float list
+(** Interpolated times at which the trace crosses [level] in the given
+    direction, in order. *)
+
+val delay_50 :
+  times:float array ->
+  input:float array ->
+  output:float array ->
+  vdd:float ->
+  input_rising:bool ->
+  float option
+(** Propagation delay: from the input's 50% crossing (given direction) to
+    the output's next 50% crossing (opposite direction). *)
+
+val delay_levels :
+  times:float array ->
+  input:float array ->
+  output:float array ->
+  in_level:float ->
+  out_level:float ->
+  input_rising:bool ->
+  float option
+(** Like {!delay_50} with independent input/output thresholds — needed
+    when a degraded cell's output levels no longer straddle VDD/2.  The
+    output edge is the nearest opposite-direction crossing to the input
+    edge, so heavily skewed cells may report a (physical) negative
+    delay. *)
+
+val period : times:float array -> values:float array -> level:float -> float option
+(** Median separation of successive rising crossings (robust oscillation
+    period estimate); [None] with fewer than three crossings. *)
+
+val average : times:float array -> values:float array -> t_from:float -> float
+(** Time average of a trace from [t_from] to the end (trapezoid). *)
+
+val energy :
+  times:float array -> current:float array -> volts:float -> t_from:float -> t_to:float -> float
+(** ∫ i(t)·V dt over the window: energy delivered by a fixed-voltage
+    source. *)

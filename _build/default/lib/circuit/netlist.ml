@@ -1,0 +1,59 @@
+type node = int
+
+let gnd = 0
+
+type element =
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Fet of { g : node; d : node; s : node; model : Fet_model.t }
+
+type t = {
+  mutable next_node : int;
+  mutable elems : element list;
+  mutable sources : (node * (float -> float)) list;
+}
+
+let create () = { next_node = 1; elems = []; sources = [] }
+
+let fresh_node t =
+  let n = t.next_node in
+  t.next_node <- n + 1;
+  n
+
+let node_count t = t.next_node
+
+let check_node t n name =
+  if n < 0 || n >= t.next_node then invalid_arg (name ^ ": unknown node")
+
+let add t e =
+  begin
+    match e with
+    | Resistor { a; b; ohms } ->
+      check_node t a "Netlist.add";
+      check_node t b "Netlist.add";
+      if ohms <= 0. then invalid_arg "Netlist.add: non-positive resistance"
+    | Capacitor { a; b; farads } ->
+      check_node t a "Netlist.add";
+      check_node t b "Netlist.add";
+      if farads < 0. then invalid_arg "Netlist.add: negative capacitance"
+    | Fet { g; d; s; model = _ } ->
+      check_node t g "Netlist.add";
+      check_node t d "Netlist.add";
+      check_node t s "Netlist.add"
+  end;
+  t.elems <- e :: t.elems
+
+let vsource t node wave =
+  check_node t node "Netlist.vsource";
+  if node = gnd then invalid_arg "Netlist.vsource: cannot drive ground";
+  if List.mem_assoc node t.sources then
+    invalid_arg "Netlist.vsource: node already driven";
+  t.sources <- (node, wave) :: t.sources
+
+let vdc t node volts = vsource t node (fun _ -> volts)
+
+let elements t = List.rev t.elems
+
+let driven t = t.sources
+
+let is_driven t n = n = gnd || List.mem_assoc n t.sources

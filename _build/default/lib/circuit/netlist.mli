@@ -1,0 +1,37 @@
+(** Circuit netlist builder.
+
+    Nodes are small integers; node 0 is ground.  Voltage sources are
+    ground-referenced (sufficient for the supply rails and drivers used in
+    the paper's circuits) and turn their node into a driven node. *)
+
+type node = int
+
+val gnd : node
+
+type element =
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Fet of { g : node; d : node; s : node; model : Fet_model.t }
+
+type t
+
+val create : unit -> t
+
+val fresh_node : t -> node
+
+val node_count : t -> int
+
+val add : t -> element -> unit
+
+val vsource : t -> node -> (float -> float) -> unit
+(** Drive [node] with the given waveform (volts as a function of seconds).
+    A node can only be driven once. *)
+
+val vdc : t -> node -> float -> unit
+(** Constant-voltage drive. *)
+
+val elements : t -> element list
+
+val driven : t -> (node * (float -> float)) list
+
+val is_driven : t -> node -> bool

@@ -1,0 +1,76 @@
+type vtc = { vin : float array; vout : float array }
+
+let check v =
+  let n = Array.length v.vin in
+  if n < 2 || Array.length v.vout <> n then invalid_arg "Snm: bad VTC";
+  for i = 0 to n - 2 do
+    if v.vin.(i + 1) <= v.vin.(i) then invalid_arg "Snm: vin not increasing"
+  done
+
+(* Root of (interpolated) g(x) = c for a sampled monotone g; None if the
+   level is not bracketed by the samples. *)
+let monotone_root xs gs c =
+  let n = Array.length xs in
+  let rec go k =
+    if k >= n - 1 then None
+    else begin
+      let a = gs.(k) -. c and b = gs.(k + 1) -. c in
+      if a = 0. then Some xs.(k)
+      else if a *. b < 0. || b = 0. then begin
+        let t = -.a /. (b -. a) in
+        Some (xs.(k) +. (t *. (xs.(k + 1) -. xs.(k))))
+      end
+      else go (k + 1)
+    end
+  in
+  go 0
+
+(* Eye openings along 45-degree scan lines y = x + c: the square corner on
+   curve 1 solves f1(x) - x = c, the corner on mirrored curve 2 solves
+   y - f2(y) = c; the square side is their horizontal separation. *)
+let lobes v1 v2 =
+  check v1;
+  check v2;
+  let g1 = Array.mapi (fun i x -> v1.vout.(i) -. x) v1.vin in
+  let h2 = Array.mapi (fun i y -> y -. v2.vout.(i)) v2.vin in
+  (* Scan c over the overlap of both monotone ranges. *)
+  let lo =
+    Float.max
+      (Array.fold_left Float.min infinity g1)
+      (Array.fold_left Float.min infinity h2)
+  in
+  let hi =
+    Float.min
+      (Array.fold_left Float.max neg_infinity g1)
+      (Array.fold_left Float.max neg_infinity h2)
+  in
+  if hi <= lo then (0., 0.)
+  else begin
+    let pos = ref 0. and neg = ref 0. in
+    let nscan = 201 in
+    Array.iter
+      (fun c ->
+        match (monotone_root v1.vin g1 c, monotone_root v2.vin h2 c) with
+        | Some xa, Some yb ->
+          let s = yb -. c -. xa in
+          if s > !pos then pos := s;
+          if -.s > !neg then neg := -.s
+        | None, _ | _, None -> ())
+      (Vec.linspace lo hi nscan);
+    (!pos, !neg)
+  end
+
+let snm v1 v2 =
+  let a, b = lobes v1 v2 in
+  Float.max 0. (Float.min a b)
+
+let butterfly v1 v2 =
+  check v1;
+  check v2;
+  let c1 =
+    Array.to_list (Array.mapi (fun i x -> (x, v1.vout.(i))) v1.vin)
+  in
+  let c2 =
+    Array.to_list (Array.mapi (fun i y -> (v2.vout.(i), y)) v2.vin)
+  in
+  (c1, c2)

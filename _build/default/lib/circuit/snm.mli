@@ -1,0 +1,20 @@
+(** Static noise margins via the butterfly / maximum-inscribed-square method
+    (Seevinck), used for inverter robustness (Sec 3.1) and the latch study
+    (Fig 7). *)
+
+type vtc = { vin : float array; vout : float array }
+(** Sampled voltage-transfer curve, [vin] strictly increasing. *)
+
+val snm : vtc -> vtc -> float
+(** [snm vtc1 vtc2] is the static noise margin of the loop formed by the
+    two inverters (cross-coupled, vtc2 mirrored): the side of the largest
+    square inscribed in the smaller butterfly eye.  Non-negative; 0 when an
+    eye has collapsed. *)
+
+val lobes : vtc -> vtc -> float * float
+(** Both eye openings (square sides), in scan order; [snm] is their
+    minimum. *)
+
+val butterfly : vtc -> vtc -> (float * float) list * (float * float) list
+(** The two butterfly branches in the (VL, VR) plane for plotting:
+    [(vl, f1 vl)] and [(f2 vr, vr)]. *)

@@ -1,0 +1,209 @@
+type waveform =
+  | Dc of float
+  | Pulse of { v0 : float; v1 : float; td : float; tr : float; tf : float; pw : float }
+
+type card =
+  | Resistor of { name : string; n1 : string; n2 : string; ohms : float }
+  | Capacitor of { name : string; n1 : string; n2 : string; farads : float }
+  | Source of { name : string; node : string; wave : waveform }
+  | Fet of { name : string; d : string; g : string; s : string; model : string }
+
+type analysis =
+  | Tran of { dt : float; t_stop : float }
+  | Dc_sweep of { source : string; start : float; stop : float; step : float }
+
+type t = { cards : card list; analyses : analysis list }
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let suffixes =
+  [
+    ("meg", 1e6); ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3);
+    ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15); ("a", 1e-18);
+  ]
+
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "" then None
+  else begin
+    let try_suffix (suffix, scale) =
+      if String.length s > String.length suffix
+         && String.ends_with ~suffix s
+      then begin
+        let body = String.sub s 0 (String.length s - String.length suffix) in
+        match float_of_string_opt body with
+        | Some v -> Some (v *. scale)
+        | None -> None
+      end
+      else None
+    in
+    (* "meg" must win over "g"; the list is ordered accordingly. *)
+    match List.find_map try_suffix suffixes with
+    | Some v -> Some v
+    | None -> float_of_string_opt s
+  end
+
+let value_exn line s =
+  match parse_value s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "bad value %S" s)
+
+(* Strip comments, split into fields; PULSE(...) groups are re-joined. *)
+let tokenize line_no raw =
+  let without_comment =
+    match String.index_opt raw ';' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let cleaned =
+    String.map (function '(' -> ' ' | ')' -> ' ' | ',' -> ' ' | c -> c)
+      without_comment
+  in
+  ignore line_no;
+  String.split_on_char ' ' cleaned
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_card line_no tokens =
+  match tokens with
+  | [] -> None
+  | first :: rest ->
+    let name = String.lowercase_ascii first in
+    let kind = name.[0] in
+    (match (kind, rest) with
+    | ('r', [ n1; n2; v ]) ->
+      Some (Resistor { name; n1; n2; ohms = value_exn line_no v })
+    | ('c', [ n1; n2; v ]) ->
+      Some (Capacitor { name; n1; n2; farads = value_exn line_no v })
+    | ('v', n :: gnd :: spec) ->
+      if gnd <> "0" && String.lowercase_ascii gnd <> "gnd" then
+        fail line_no "sources must be ground-referenced";
+      let wave =
+        match List.map String.lowercase_ascii spec with
+        | [ "dc"; v ] | [ v ] -> Dc (value_exn line_no v)
+        | "pulse" :: args -> begin
+          match List.map (value_exn line_no) args with
+          | [ v0; v1; td; tr; tf; pw ] -> Pulse { v0; v1; td; tr; tf; pw }
+          | _ -> fail line_no "PULSE needs 6 arguments (v0 v1 td tr tf pw)"
+        end
+        | _ -> fail line_no "bad source specification"
+      in
+      Some (Source { name; node = n; wave })
+    | ('m', [ d; g; s; model ]) -> Some (Fet { name; d; g; s; model })
+    | ('r', _) | ('c', _) | ('m', _) ->
+      fail line_no (Printf.sprintf "wrong number of fields for %s" first)
+    | _ -> fail line_no (Printf.sprintf "unknown card %S" first))
+
+let parse_directive line_no tokens =
+  match List.map String.lowercase_ascii tokens with
+  | [ ".tran"; dt; t_stop ] ->
+    Some (Tran { dt = value_exn line_no dt; t_stop = value_exn line_no t_stop })
+  | [ ".dc"; src; start; stop; step ] ->
+    Some
+      (Dc_sweep
+         {
+           source = src;
+           start = value_exn line_no start;
+           stop = value_exn line_no stop;
+           step = value_exn line_no step;
+         })
+  | [ ".end" ] -> None
+  | d :: _ -> fail line_no (Printf.sprintf "unknown directive %S" d)
+  | [] -> None
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let cards = ref [] and analyses = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      let trimmed = String.trim raw in
+      if trimmed <> "" && trimmed.[0] <> '*' then begin
+        let tokens = tokenize line_no trimmed in
+        if tokens <> [] then begin
+          if trimmed.[0] = '.' then begin
+            match parse_directive line_no tokens with
+            | Some a -> analyses := a :: !analyses
+            | None -> ()
+          end
+          else begin
+            match parse_card line_no tokens with
+            | Some c -> cards := c :: !cards
+            | None -> ()
+          end
+        end
+      end)
+    lines;
+  { cards = List.rev !cards; analyses = List.rev !analyses }
+
+let waveform_value wave t =
+  match wave with
+  | Dc v -> v
+  | Pulse { v0; v1; td; tr; tf; pw } ->
+    if t <= td then v0
+    else if t <= td +. tr then v0 +. ((v1 -. v0) *. (t -. td) /. Float.max tr 1e-30)
+    else if t <= td +. tr +. pw then v1
+    else if t <= td +. tr +. pw +. tf then
+      v1 +. ((v0 -. v1) *. (t -. td -. tr -. pw) /. Float.max tf 1e-30)
+    else v0
+
+type built = {
+  net : Netlist.t;
+  node_of : string -> Netlist.node;
+  source_node : string -> Netlist.node;
+}
+
+let build deck ~models =
+  let net = Netlist.create () in
+  let table : (string, Netlist.node) Hashtbl.t = Hashtbl.create 16 in
+  let node_of name =
+    let key = String.lowercase_ascii name in
+    if key = "0" || key = "gnd" then Netlist.gnd
+    else begin
+      match Hashtbl.find_opt table key with
+      | Some n -> n
+      | None ->
+        let n = Netlist.fresh_node net in
+        Hashtbl.add table key n;
+        n
+    end
+  in
+  let sources : (string, Netlist.node) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun card ->
+      match card with
+      | Resistor { n1; n2; ohms; name = _ } ->
+        Netlist.add net (Netlist.Resistor { a = node_of n1; b = node_of n2; ohms })
+      | Capacitor { n1; n2; farads; name = _ } ->
+        Netlist.add net (Netlist.Capacitor { a = node_of n1; b = node_of n2; farads })
+      | Source { name; node; wave } ->
+        let n = node_of node in
+        Netlist.vsource net n (waveform_value wave);
+        Hashtbl.replace sources name n
+      | Fet { name; d; g; s; model } -> begin
+        match models model with
+        | Some m ->
+          Netlist.add net
+            (Netlist.Fet { g = node_of g; d = node_of d; s = node_of s; model = m })
+        | None -> failwith (Printf.sprintf "Spice_deck.build: unknown model %S (device %s)" model name)
+      end)
+    deck.cards;
+  {
+    net;
+    node_of =
+      (fun name ->
+        let key = String.lowercase_ascii name in
+        if key = "0" || key = "gnd" then Netlist.gnd
+        else begin
+          match Hashtbl.find_opt table key with
+          | Some n -> n
+          | None -> raise Not_found
+        end);
+    source_node =
+      (fun name ->
+        match Hashtbl.find_opt sources (String.lowercase_ascii name) with
+        | Some n -> n
+        | None -> raise Not_found);
+  }

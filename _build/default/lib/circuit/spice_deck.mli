@@ -1,0 +1,54 @@
+(** A small SPICE-dialect netlist front-end for the circuit engine.
+
+    Supported cards (case-insensitive, `*` and `;` comments):
+
+    - [R<name> n1 n2 <value>] — resistor (Ω)
+    - [C<name> n1 n2 <value>] — capacitor (F)
+    - [V<name> n+ 0 DC <value>] — ground-referenced DC source
+    - [V<name> n+ 0 PULSE(v0 v1 td tr tf pw)] — single pulse
+    - [M<name> d g s <model>] — FET, model resolved by the caller
+    - [.tran <dt> <tstop>] — transient analysis request
+    - [.dc <vname> <start> <stop> <step>] — DC sweep request
+    - [.end]
+
+    Engineering suffixes a/f/p/n/u/m/k/meg/g/t are accepted on values.
+    Node "0" (or "gnd") is ground; all other node names are arbitrary
+    identifiers. *)
+
+type waveform = Dc of float | Pulse of { v0 : float; v1 : float; td : float; tr : float; tf : float; pw : float }
+
+type card =
+  | Resistor of { name : string; n1 : string; n2 : string; ohms : float }
+  | Capacitor of { name : string; n1 : string; n2 : string; farads : float }
+  | Source of { name : string; node : string; wave : waveform }
+  | Fet of { name : string; d : string; g : string; s : string; model : string }
+
+type analysis =
+  | Tran of { dt : float; t_stop : float }
+  | Dc_sweep of { source : string; start : float; stop : float; step : float }
+
+type t = { cards : card list; analyses : analysis list }
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> t
+(** Parse a deck from its text. *)
+
+val parse_value : string -> float option
+(** Engineering-notation number ("10k", "2.5p", "1meg"). *)
+
+type built = {
+  net : Netlist.t;
+  node_of : string -> Netlist.node;
+      (** resolve a deck node name (raises [Not_found] for unknown names) *)
+  source_node : string -> Netlist.node;
+      (** node driven by the named source (raises [Not_found]) *)
+}
+
+val build : t -> models:(string -> Fet_model.t option) -> built
+(** Instantiate the deck.  Unknown FET model names raise
+    [Failure]. *)
+
+val waveform_value : waveform -> float -> float
+(** Evaluate a source waveform at a time (exposed for tests). *)

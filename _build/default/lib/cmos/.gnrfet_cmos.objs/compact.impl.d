@@ -1,0 +1,1 @@
+lib/cmos/compact.ml: Const Fet_model Float

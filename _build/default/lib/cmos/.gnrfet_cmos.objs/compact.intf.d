@@ -1,0 +1,1 @@
+lib/cmos/compact.mli: Fet_model

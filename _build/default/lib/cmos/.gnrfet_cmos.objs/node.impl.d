@@ -1,0 +1,1 @@
+lib/cmos/node.ml: Compact

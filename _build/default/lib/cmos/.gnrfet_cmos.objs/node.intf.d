@@ -1,0 +1,1 @@
+lib/cmos/node.mli: Compact Fet_model

@@ -1,0 +1,25 @@
+(** Scaled-CMOS technology nodes for the Table 1 comparison.
+
+    Parameter sets are calibrated so the 15-stage FO4 ring oscillator and
+    inverter metrics land in the ranges the paper reports for the PTM
+    22/32/45 nm cards (frequency at VDD = 0.8/0.6/0.4 V, EDP optimum at
+    0.6 V, SNM ≈ 0.3/0.23/0.16 V); EXPERIMENTS.md records measured vs
+    reported values. *)
+
+type t = {
+  label : string;
+  nmos : Compact.t;
+  pmos : Compact.t;
+  cg_half : float;  (** per-transistor Cgs = Cgd value, F *)
+}
+
+val n22 : t
+val n32 : t
+val n45 : t
+
+val all : t list
+(** The three nodes of Table 1, smallest first. *)
+
+val nfet : t -> Fet_model.t
+
+val pfet : t -> Fet_model.t

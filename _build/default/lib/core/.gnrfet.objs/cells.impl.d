@@ -1,0 +1,1 @@
+lib/core/cells.ml: Array Fet_model Gnr_model List Mna Netlist Snm Vec

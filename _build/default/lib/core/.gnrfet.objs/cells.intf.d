@@ -1,0 +1,1 @@
+lib/core/cells.mli: Fet_model Gnr_model Netlist Snm

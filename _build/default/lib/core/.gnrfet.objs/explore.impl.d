@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Cells Contour Float Gnr_model List Metrics Vec

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Cells Contour Iv_table

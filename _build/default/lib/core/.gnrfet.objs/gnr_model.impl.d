@@ -1,0 +1,1 @@
+lib/core/gnr_model.ml: Fet_model Float Hashtbl Iv_table List Mutex Printf Vt

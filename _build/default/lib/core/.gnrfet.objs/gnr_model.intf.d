@@ -1,0 +1,1 @@
+lib/core/gnr_model.mli: Fet_model Iv_table

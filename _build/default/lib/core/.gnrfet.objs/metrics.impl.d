@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Cells Fet_model Float Gnr_model List Measure Mna Snm

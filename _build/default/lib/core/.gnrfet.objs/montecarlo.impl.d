@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Cells Fet_model Gnr_model Hashtbl Metrics Mutex Printf Rng Stats Variation

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Stats Variation

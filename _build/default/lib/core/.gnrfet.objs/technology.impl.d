@@ -1,0 +1,1 @@
+lib/core/technology.ml: Array Cells Compact Explore List Metrics Node Printf

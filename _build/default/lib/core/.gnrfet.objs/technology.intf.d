@@ -1,0 +1,1 @@
+lib/core/technology.mli: Cells Explore Iv_table Node

@@ -1,0 +1,1 @@
+lib/core/variation.ml: Array Cells Float Gnr_model Hashtbl List Metrics Mna Netlist Printf Snm Table_cache Variants

@@ -1,0 +1,38 @@
+(** Monte Carlo study of the 15-stage ring oscillator under simultaneous
+    width variation and charge impurities (Fig 6 of the paper).
+
+    Widths N ∈ \{9, 12, 15\} and charges ∈ \{−q, 0, +q\} are drawn from a
+    discretized normal distribution (mean N = 12 / charge 0; the ±σ points
+    map to the outer values), independently for the n- and p-FET of every
+    stage.  Stage delays, leakages and switching energies come from the
+    pre-characterized inverter variants; the ring frequency is
+    1 / (2 Σ tp_i) with a first-order fanout-load correction (see
+    DESIGN.md). *)
+
+type sample = {
+  frequency : float;  (** Hz *)
+  p_dynamic : float;  (** W *)
+  p_static : float;  (** W *)
+}
+
+type result = {
+  nominal : sample;  (** all stages nominal *)
+  samples : sample array;
+}
+
+val run :
+  ?op:Variation.op_point ->
+  ?stages:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?sigma_probability:float ->
+  unit ->
+  result
+(** Defaults: operating point B, 15 stages, 2000 samples, seed 42,
+    [sigma_probability] = 0.1587 per tail (the mass beyond ±1σ of a
+    normal, as implied by the paper's "N = 9/15 and ±q set to σ"). *)
+
+val histograms :
+  ?bins:int -> result -> Stats.histogram * Stats.histogram * Stats.histogram
+(** (frequency in GHz, dynamic power in µW, static power in µW) — the
+    three panels of Fig 6. *)

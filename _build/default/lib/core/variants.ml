@@ -1,0 +1,34 @@
+let nominal = Params.default ()
+
+let width n =
+  if not (Lattice.is_semiconducting_for_fets n) then
+    invalid_arg "Variants.width: not a FET-family index";
+  Params.default ~gnr_index:n ()
+
+let impurity charge =
+  if charge = 0. then nominal else Params.with_impurity_charge nominal charge
+
+let width_impurity n charge =
+  if charge = 0. then width n else Params.with_impurity_charge (width n) charge
+
+let paper_widths = [ 9; 12; 15; 18 ]
+
+let paper_charges = [ -2.; -1.; 0.; 1.; 2. ]
+
+let all_for_experiments =
+  let widths = List.map width paper_widths in
+  let impurities =
+    List.filter_map
+      (fun c -> if c = 0. then None else Some (impurity c))
+      paper_charges
+  in
+  let combined =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun c ->
+            if c = 0. || n = 12 then None else Some (width_impurity n c))
+          [ -1.; 1. ])
+      paper_widths
+  in
+  widths @ impurities @ combined

@@ -1,0 +1,26 @@
+(** The canonical device-variant set of the paper's variability and defect
+    study (Sections 4–5). *)
+
+val nominal : Params.t
+(** Ideal N = 12 device. *)
+
+val width : int -> Params.t
+(** Clean device of the given A-GNR index (9, 12, 15, 18). *)
+
+val impurity : float -> Params.t
+(** N = 12 device with an oxide charge impurity of the given magnitude in
+    units of |q| (±1, ±2); 0 returns the nominal device. *)
+
+val width_impurity : int -> float -> Params.t
+(** Combined width variation and charge impurity (Table 4 / Monte Carlo). *)
+
+val paper_widths : int list
+(** [9; 12; 15; 18] — the semiconducting indices studied (3q and 3q+1
+    families only). *)
+
+val paper_charges : float list
+(** [-2.; -1.; 0.; 1.; 2.]. *)
+
+val all_for_experiments : Params.t list
+(** Every distinct device the tables/figures need; used by the table
+    pre-generation tool. *)

@@ -1,0 +1,1 @@
+lib/device/iv_table.ml: Array Buffer Hashtbl Interp Mutex Params Printf Scf Vec

@@ -1,0 +1,1 @@
+lib/device/iv_table.mli: Params

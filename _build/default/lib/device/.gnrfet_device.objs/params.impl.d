@@ -1,0 +1,1 @@
+lib/device/params.ml: Bands Const Format Impurity Lattice List Printf Stack2d String

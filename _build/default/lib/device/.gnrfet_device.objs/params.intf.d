@@ -1,0 +1,1 @@
+lib/device/params.mli: Format Impurity Stack2d

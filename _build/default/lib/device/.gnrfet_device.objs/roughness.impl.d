@@ -1,0 +1,1 @@
+lib/device/roughness.ml: Array Complex Float Modespace Rgf Rng Self_energy Stats Vec

@@ -1,0 +1,1 @@
+lib/device/roughness.mli: Rgf Rng

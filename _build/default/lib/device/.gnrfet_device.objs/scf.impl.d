@@ -1,0 +1,1 @@
+lib/device/scf.ml: Array Const Float Hashtbl Impurity List Mixing Modespace Mutex Observables Params Printf Rgf Self_energy Stack2d Vec

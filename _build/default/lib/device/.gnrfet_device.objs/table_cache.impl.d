@@ -1,0 +1,1 @@
+lib/device/table_cache.ml: Array Digest Filename Hashtbl Iv_table List Marshal Mutex Option Parallel Params Printf String Sys Unix

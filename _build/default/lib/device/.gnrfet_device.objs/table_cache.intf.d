@@ -1,0 +1,1 @@
+lib/device/table_cache.mli: Iv_table Params

@@ -1,0 +1,1 @@
+lib/device/vt.ml: Array Interp Iv_table List Params Scf Vec

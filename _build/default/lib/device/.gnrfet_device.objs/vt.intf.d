@@ -1,0 +1,1 @@
+lib/device/vt.mli: Iv_table Params

@@ -1,0 +1,96 @@
+type t = {
+  key : string;
+  vg : float array;
+  vd : float array;
+  current : float array array;
+  charge : float array array;
+}
+
+type grid_spec = {
+  vg_min : float;
+  vg_max : float;
+  n_vg : int;
+  vd_max : float;
+  n_vd : int;
+}
+
+let default_grid =
+  { vg_min = -0.25; vg_max = 1.05; n_vg = 53; vd_max = 0.8; n_vd = 17 }
+
+let grid_key g =
+  Printf.sprintf "vg%g:%g:%d-vd%g:%d" g.vg_min g.vg_max g.n_vg g.vd_max g.n_vd
+
+let generate ?(grid = default_grid) p =
+  let vg = Vec.linspace grid.vg_min grid.vg_max grid.n_vg in
+  let vd = Vec.linspace 0. grid.vd_max grid.n_vd in
+  let current = Array.make_matrix grid.n_vg grid.n_vd 0. in
+  let charge = Array.make_matrix grid.n_vg grid.n_vd 0. in
+  (* Sweep VG inner with warm starts; VD outer restarts from the previous
+     row's first solution. *)
+  let row_init = ref None in
+  Array.iteri
+    (fun jd vdv ->
+      let init = ref !row_init in
+      Array.iteri
+        (fun ig vgv ->
+          let s = Scf.solve ?init:!init p ~vg:vgv ~vd:vdv in
+          init := Some s.Scf.potential;
+          if ig = 0 then row_init := Some s.Scf.potential;
+          current.(ig).(jd) <- s.Scf.current;
+          charge.(ig).(jd) <- s.Scf.charge)
+        vg)
+    vd;
+  { key = Params.cache_key p ^ "|" ^ grid_key grid; vg; vd; current; charge }
+
+let current_interp t = Interp.grid2 ~xs:t.vg ~ys:t.vd ~values:t.current
+
+let charge_interp t = Interp.grid2 ~xs:t.vg ~ys:t.vd ~values:t.charge
+
+(* Tables are small and queried millions of times: memoize interpolants. *)
+let interp_cache : (string, Interp.grid2 * Interp.grid2) Hashtbl.t = Hashtbl.create 16
+
+let interp_mutex = Mutex.create ()
+
+let interps t =
+  match Mutex.protect interp_mutex (fun () -> Hashtbl.find_opt interp_cache t.key) with
+  | Some pair -> pair
+  | None ->
+    let pair = (current_interp t, charge_interp t) in
+    Mutex.protect interp_mutex (fun () -> Hashtbl.replace interp_cache t.key pair);
+    pair
+
+let check_vd vd = if vd < -1e-12 then invalid_arg "Iv_table: vd must be >= 0"
+
+let current_at t ~vg ~vd =
+  check_vd vd;
+  let ci, _ = interps t in
+  Interp.grid2_eval ci vg vd
+
+let charge_at t ~vg ~vd =
+  check_vd vd;
+  let _, qi = interps t in
+  Interp.grid2_eval qi vg vd
+
+let dq_dvg t ~vg ~vd =
+  check_vd vd;
+  let _, qi = interps t in
+  Interp.grid2_dx qi vg vd
+
+let dq_dvd t ~vg ~vd =
+  check_vd vd;
+  let _, qi = interps t in
+  Interp.grid2_dy qi vg vd
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "vg,vd,id_A,q_C\n";
+  Array.iteri
+    (fun ig vg ->
+      Array.iteri
+        (fun jd vd ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.6g,%.6g,%.8g,%.8g\n" vg vd t.current.(ig).(jd)
+               t.charge.(ig).(jd)))
+        t.vd)
+    t.vg;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Intrinsic-device lookup tables: the bridge between the quantum transport
+    simulations and the circuit simulator (Section 3 of the paper).
+
+    A table holds [ID(VG, VD)] and channel charge [Q(VG, VD)] of a single
+    GNR on a rectangular bias grid; circuit models interpolate bilinearly
+    and differentiate the charge for the intrinsic capacitances. *)
+
+type t = {
+  key : string;  (** device identity the table was generated for *)
+  vg : float array;  (** gate-bias grid, V (strictly increasing) *)
+  vd : float array;  (** drain-bias grid, V (strictly increasing, >= 0) *)
+  current : float array array;  (** [current.(ivg).(ivd)], A (one GNR) *)
+  charge : float array array;  (** net channel charge, C (signed) *)
+}
+
+type grid_spec = {
+  vg_min : float;
+  vg_max : float;
+  n_vg : int;
+  vd_max : float;
+  n_vd : int;
+}
+
+val default_grid : grid_spec
+(** VG ∈ [-0.25, 1.05] (25 mV steps, fine enough to preserve the
+    device transconductance through bilinear interpolation) × VD ∈ [0, 0.8]
+    (50 mV): wide enough for p-type mirroring, gate-offset shifts and
+    transient excursions at the paper's operating points (tables are
+    stored for VD >= 0; negative VDS is handled by the circuit model
+    through source/drain exchange symmetry). *)
+
+val generate : ?grid:grid_spec -> Params.t -> t
+(** Run the self-consistent solver over the grid (warm-starting each VG
+    sweep from the previous bias point). *)
+
+val current_at : t -> vg:float -> vd:float -> float
+(** Bilinear interpolation; requires [vd >= 0] (the circuit layer owns the
+    negative-VDS reflection). Clamped at the table edges. *)
+
+val charge_at : t -> vg:float -> vd:float -> float
+
+val dq_dvg : t -> vg:float -> vd:float -> float
+(** ∂Q/∂VG of the interpolant (for [CG,i = |∂Q/∂VGS|]). *)
+
+val dq_dvd : t -> vg:float -> vd:float -> float
+(** ∂Q/∂VD of the interpolant (for [CGD,i = |∂Q/∂VDS|]). *)
+
+val to_csv : t -> string
+(** Plain CSV dump ("vg,vd,id_A,q_C" rows) for external plotting. *)

@@ -1,0 +1,69 @@
+type t = {
+  gnr_index : int;
+  channel_length : float;
+  oxide_thickness : float;
+  oxide_eps_r : float;
+  temperature : float;
+  n_modes : int;
+  gate_offset : float;
+  contact_gamma : float;
+  width_fringe : float;
+  impurities : Impurity.t list;
+  contact_style : Stack2d.contact_style;
+  energy_step : float;
+  energy_margin : float;
+}
+
+let default ?(gnr_index = 12) () =
+  {
+    gnr_index;
+    channel_length = 15e-9;
+    oxide_thickness = 1.5e-9;
+    oxide_eps_r = Const.eps_sio2;
+    temperature = Const.room_temperature;
+    n_modes = 2;
+    gate_offset = 0.;
+    contact_gamma = 1.0;
+    width_fringe = 0.5e-9;
+    impurities = [];
+    contact_style = Stack2d.Point;
+    energy_step = 2e-3;
+    energy_margin = 0.45;
+  }
+
+let with_impurity_charge t charge =
+  { t with impurities = Impurity.paper_default ~charge :: t.impurities }
+
+let band_gap t = Bands.gap_of_index t.gnr_index
+
+let schottky_barrier t = band_gap t /. 2.
+
+let effective_width t = Lattice.width t.gnr_index +. t.width_fringe
+
+let cache_key t =
+  let imp_part =
+    (* The impurity-model constants are part of the physics: key on them
+       so model recalibrations invalidate only the affected tables. *)
+    String.concat ";"
+      (List.map
+         (fun (i : Impurity.t) ->
+           Printf.sprintf "%g@%g/%g/e%g/s%g" i.charge i.position i.distance
+             Impurity.effective_eps_r Impurity.screening_length)
+         t.impurities)
+  in
+  let style =
+    match t.contact_style with Stack2d.Point -> "pt" | Stack2d.Plane -> "pl"
+  in
+  Printf.sprintf "v3-%s-N%d-L%g-tox%g-eps%g-T%g-m%d-off%g-g%g-wf%g-de%g-em%g-[%s]"
+    style t.gnr_index t.channel_length t.oxide_thickness t.oxide_eps_r t.temperature
+    t.n_modes t.gate_offset t.contact_gamma t.width_fringe t.energy_step
+    t.energy_margin imp_part
+
+let pp ppf t =
+  Format.fprintf ppf
+    "GNRFET(N=%d, L=%.1fnm, tox=%.2fnm, T=%gK, offset=%.3gV, gamma=%.2geV, %d impurities)"
+    t.gnr_index
+    (t.channel_length /. Const.nm)
+    (t.oxide_thickness /. Const.nm)
+    t.temperature t.gate_offset t.contact_gamma
+    (List.length t.impurities)

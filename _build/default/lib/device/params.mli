@@ -1,0 +1,51 @@
+(** Intrinsic GNRFET device description (one GNR of the array channel).
+
+    Defaults follow Section 2 of the paper: 15 nm armchair-edge GNR channel,
+    1.5 nm SiO2 double gate, metal source/drain with mid-gap Fermi-level
+    pinning (Schottky barriers of Eg/2), 300 K. *)
+
+type t = {
+  gnr_index : int;  (** A-GNR index N (9, 12, 15, 18 in the paper) *)
+  channel_length : float;  (** m (paper: 15 nm) *)
+  oxide_thickness : float;  (** m per gate (paper: 1.5 nm SiO2) *)
+  oxide_eps_r : float;  (** 3.9 *)
+  temperature : float;  (** K *)
+  n_modes : int;  (** subbands kept in mode space *)
+  gate_offset : float;
+      (** gate work-function offset (V): shifts the I-V curve along the VG
+          axis; used for VT tuning (Section 2 / Fig 2(b)) *)
+  contact_gamma : float;
+      (** wide-band metal contact broadening (eV); sets contact
+          transparency *)
+  width_fringe : float;
+      (** fringe width (m) added to the GNR width when spreading the line
+          charge into the 2D electrostatic sheet *)
+  impurities : Impurity.t list;  (** fixed oxide charges *)
+  contact_style : Stack2d.contact_style;
+      (** end-bonded ([Point], default) or wrap-around ([Plane]) metal
+          contacts; see {!Stack2d} *)
+  energy_step : float;  (** NEGF energy-grid spacing, eV *)
+  energy_margin : float;  (** grid margin beyond the contact windows, eV *)
+}
+
+val default : ?gnr_index:int -> unit -> t
+(** The paper's nominal device: N = 12, no impurities, zero offset,
+    contact broadening 1.0 eV (calibrated; see EXPERIMENTS.md). *)
+
+val with_impurity_charge : t -> float -> t
+(** Add the paper's standard impurity (0.4 nm above the GNR near the
+    source) with the given charge in units of |q| (±1, ±2). *)
+
+val band_gap : t -> float
+(** Fundamental gap of the channel GNR, eV. *)
+
+val schottky_barrier : t -> float
+(** [Eg / 2]: both electron and hole barrier heights. *)
+
+val effective_width : t -> float
+(** Electrostatic charge-spreading width, m. *)
+
+val cache_key : t -> string
+(** Stable content key identifying the device for the table cache. *)
+
+val pp : Format.formatter -> t -> unit

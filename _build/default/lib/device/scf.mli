@@ -1,0 +1,41 @@
+(** Self-consistent NEGF ↔ Poisson solution of the intrinsic GNRFET at one
+    bias point.
+
+    The mode-space NEGF solver (lib/negf) provides the channel charge for a
+    given mid-gap potential profile; the 2D finite-volume Poisson solver
+    (lib/poisson) provides the potential for a given charge; the loop is
+    accelerated with Anderson mixing and supports warm starts from a
+    neighbouring bias point (used heavily by the table sweeps). *)
+
+type solution = {
+  vg : float;
+  vd : float;
+  potential : float array;  (** converged mid-gap profile u(x) per site, V *)
+  current : float;  (** drain current of one GNR, A *)
+  charge : float;  (** total net mobile channel charge, C (signed) *)
+  site_charge : float array;  (** per-site net charge, C *)
+  iterations : int;
+  residual : float;  (** final max-norm potential update, V *)
+}
+
+val site_positions : Params.t -> float array
+(** Longitudinal positions of the mode-space chain sites, m. *)
+
+val conduction_band_profile : Params.t -> solution -> float array
+(** [u(x) + impurity shift + Eg/2] per site: the Fig 5(a) band profile. *)
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:float array ->
+  ?mixing:[ `Anderson | `Linear of float ] ->
+  Params.t ->
+  vg:float ->
+  vd:float ->
+  solution
+(** Solve at (VG, VD).  [init] warm-starts the potential profile.  Default
+    tolerance 1e-3 V, iteration cap 120 (a non-converged point returns the
+    best iterate; [residual] reports the achieved update so callers can
+    assert convergence where it matters).  [mixing] selects the
+    fixed-point accelerator (default Anderson; [`Linear alpha] is the
+    plain under-relaxation baseline used by the convergence ablation). *)

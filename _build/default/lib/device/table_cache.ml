@@ -1,0 +1,93 @@
+let cache_dir () =
+  match Sys.getenv_opt "GNRFET_TABLE_DIR" with
+  | Some d when d <> "" -> d
+  | Some _ | None -> "_tables"
+
+let memory : (string, Iv_table.t) Hashtbl.t = Hashtbl.create 32
+
+let memory_mutex = Mutex.create ()
+
+let clear_memory () =
+  Mutex.protect memory_mutex (fun () -> Hashtbl.reset memory)
+
+let full_key ?grid p =
+  let g = match grid with Some g -> g | None -> Iv_table.default_grid in
+  Params.cache_key p ^ "|"
+  ^ Printf.sprintf "vg%g:%g:%d-vd%g:%d" g.Iv_table.vg_min g.vg_max g.n_vg
+      g.vd_max g.n_vd
+
+let path_of_key key =
+  Filename.concat (cache_dir ()) (Digest.to_hex (Digest.string key) ^ ".table")
+
+(* File format: marshaled (key, table) pair; the key is re-checked on load
+   so hash collisions or format drift degrade to regeneration. *)
+let load_file key =
+  let path = path_of_key key in
+  if Sys.file_exists path then begin
+    try
+      let ic = open_in_bin path in
+      let result =
+        try
+          let stored_key, (table : Iv_table.t) =
+            (Marshal.from_channel ic : string * Iv_table.t)
+          in
+          if String.equal stored_key key then Some table else None
+        with Failure _ | End_of_file -> None
+      in
+      close_in ic;
+      result
+    with Sys_error _ -> None
+  end
+  else None
+
+let store_file key table =
+  let dir = cache_dir () in
+  if not (Sys.file_exists dir) then (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = path_of_key key in
+  try
+    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    Marshal.to_channel oc (key, table) [];
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let lookup ?grid p =
+  let key = full_key ?grid p in
+  match Mutex.protect memory_mutex (fun () -> Hashtbl.find_opt memory key) with
+  | Some t -> Some t
+  | None -> begin
+    match load_file key with
+    | Some t ->
+      Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
+      Some t
+    | None -> None
+  end
+
+let get ?grid p =
+  let key = full_key ?grid p in
+  match lookup ?grid p with
+  | Some t -> t
+  | None ->
+    let t = Iv_table.generate ?grid p in
+    Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
+    store_file key t;
+    t
+
+let get_many ?grid ps =
+  let missing =
+    List.filter (fun p -> Option.is_none (lookup ?grid p)) ps
+  in
+  if missing <> [] then begin
+    (* Persist each table as soon as it is generated so an interrupted
+       batch keeps its completed work. *)
+    let generate_and_store p =
+      let key = full_key ?grid p in
+      let t = Iv_table.generate ?grid p in
+      Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
+      store_file key t;
+      ()
+    in
+    ignore (Parallel.map generate_and_store (Array.of_list missing))
+  end;
+  List.map (fun p -> get ?grid p) ps

@@ -1,0 +1,21 @@
+(** On-disk cache of generated device tables.
+
+    Table generation costs tens of seconds per device variant; the
+    variation studies need ~20 variants.  Tables are stored under the
+    directory named by [GNRFET_TABLE_DIR] (default [_tables/] in the
+    current working tree), content-addressed by the device cache key. *)
+
+val cache_dir : unit -> string
+
+val lookup : ?grid:Iv_table.grid_spec -> Params.t -> Iv_table.t option
+(** Load from memory or disk; [None] when absent or unreadable. *)
+
+val get : ?grid:Iv_table.grid_spec -> Params.t -> Iv_table.t
+(** Load or generate (and persist). Thread through all experiment code. *)
+
+val get_many : ?grid:Iv_table.grid_spec -> Params.t list -> Iv_table.t list
+(** Like {!get} for a batch, generating missing tables in parallel across
+    domains. *)
+
+val clear_memory : unit -> unit
+(** Drop the in-memory cache (tests). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Explore Float Format Iv_table List Metrics Params Report Scf Stack2d Table_cache

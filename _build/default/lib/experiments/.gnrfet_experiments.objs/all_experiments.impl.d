@@ -1,0 +1,1 @@
+lib/experiments/all_experiments.ml: Exp_fig2a Exp_fig2b Exp_fig3b Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_table1 Exp_tables234 List String

@@ -1,0 +1,1 @@
+lib/experiments/all_experiments.mli: Format

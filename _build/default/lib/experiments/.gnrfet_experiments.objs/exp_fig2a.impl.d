@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2a.ml: Array Float Format Lattice List Params Printf Report Scf Vec

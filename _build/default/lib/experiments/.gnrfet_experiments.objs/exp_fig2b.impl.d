@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2b.ml: Array Format Params Printf Report Scf Vec Vt

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3b.ml: Array Contour Explore Format List Params Printf Report String Table_cache Vec

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3b.mli: Contour Explore Format

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Float Format Iv_table List Params Printf Report Table_cache Variants Vec

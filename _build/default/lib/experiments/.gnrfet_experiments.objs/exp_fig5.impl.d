@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array Format Iv_table List Params Printf Report Scf Table_cache Vec

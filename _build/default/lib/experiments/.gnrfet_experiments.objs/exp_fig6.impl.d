@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Array Format Montecarlo Report Stats Vec

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Float Format List Metrics Node Params Report Table_cache Technology

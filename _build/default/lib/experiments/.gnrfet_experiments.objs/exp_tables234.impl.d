@@ -1,0 +1,1 @@
+lib/experiments/exp_tables234.ml: Array Float Format List Metrics Printf Report Variation

@@ -1,0 +1,64 @@
+(** Ablation studies of the design choices DESIGN.md calls out: mode-space
+    depth, energy-grid resolution, SCF acceleration, contact geometry, and
+    bias-table density.  Each returns the measurements and a printed
+    comparison; the benchmark harness exposes them as ablation benches. *)
+
+type mode_count_result = {
+  n_modes : int;
+  ion : float;  (** A at VG = 0.75, VD = 0.5 *)
+  ioff : float;  (** A at the ambipolar minimum *)
+}
+
+val mode_count : ?indices:int list -> unit -> mode_count_result list
+(** Effect of keeping 1, 2 or 3 subbands in the mode-space reduction. *)
+
+type grid_result = {
+  energy_step : float;  (** eV *)
+  ion : float;
+  relative_error : float;  (** vs the finest grid in the sweep *)
+}
+
+val energy_grid : ?steps:float list -> unit -> grid_result list
+
+type mixing_result = {
+  scheme : string;
+  iterations : int;
+  converged : bool;
+}
+
+val mixing : ?vg:float -> ?vd:float -> unit -> mixing_result list
+(** Anderson acceleration vs plain under-relaxation at a representative
+    strongly-inverted bias point. *)
+
+type contact_result = {
+  style : string;
+  ion : float;
+  ion_over_ioff : float;
+}
+
+val contact_style : unit -> contact_result list
+(** End-bonded (Point) vs wrap-around (Plane) contact electrostatics. *)
+
+type table_density_result = {
+  n_vg : int;
+  snm : float;  (** inverter SNM at the B operating point *)
+  delay : float;  (** s *)
+}
+
+val table_density : ?sizes:int list -> unit -> table_density_result list
+(** How the bias-table VG density changes circuit-level answers (bilinear
+    interpolation smears transconductance on coarse grids). *)
+
+type temperature_result = {
+  temperature : float;  (** K *)
+  ion : float;
+  ioff : float;
+  on_off : float;
+}
+
+val temperature : ?kelvins:float list -> unit -> temperature_result list
+(** Thermionic sensitivity: the ambipolar leakage floor grows
+    exponentially with temperature while the on-current barely moves. *)
+
+val print_all : Format.formatter -> unit
+(** Run every ablation and print the comparisons. *)

@@ -1,0 +1,19 @@
+(** Fig 3(b): EDP, frequency and SNM contours of the 15-stage FO4 ring
+    oscillator over the (VT, VDD) plane, and the operating points A/B/C. *)
+
+type result = {
+  surface : Explore.surface;
+  min_edp : Explore.operating_point;
+  point_a : Explore.operating_point option;
+  point_b : Explore.operating_point option;
+  point_c : Explore.operating_point option;
+  freq_3ghz_contour : Contour.polyline list;
+  snm_contours : (float * Contour.polyline list) list;
+}
+
+val run : ?nv:int -> unit -> result
+(** [nv] grid points per axis (default 13). *)
+
+val print : Format.formatter -> result -> unit
+
+val bench_kernel : unit -> float

@@ -1,0 +1,56 @@
+type result = {
+  gnrfet : Technology.row list;
+  cmos : Technology.row list;
+  edp_improvement_range : float * float;
+}
+
+let run ?surface () =
+  let table = Table_cache.get (Params.default ()) in
+  let gnrfet = Technology.gnrfet_operating_points ?surface table in
+  let cmos = Technology.cmos_rows () in
+  let reference =
+    match List.find_opt (fun (r : Technology.row) -> r.Technology.label = "GNRFET B") gnrfet with
+    | Some b -> Some b
+    | None -> (match gnrfet with r :: _ -> Some r | [] -> None)
+  in
+  let edp_improvement_range =
+    match reference with
+    | None -> (nan, nan)
+    | Some b ->
+      (* The paper compares the *optimum* EDP of each CMOS node (its best
+         supply) to GNRFET point B, quoting 40-168X across nodes. *)
+      let by_node label =
+        List.filter (fun (r : Technology.row) -> r.Technology.label = label) cmos
+        |> List.map (fun r -> r.Technology.edp)
+        |> List.fold_left Float.min infinity
+      in
+      let ratios =
+        List.map
+          (fun node -> by_node ("CMOS " ^ node) /. b.Technology.edp)
+          [ "22nm"; "32nm"; "45nm" ]
+      in
+      ( List.fold_left Float.min infinity ratios,
+        List.fold_left Float.max neg_infinity ratios )
+  in
+  { gnrfet; cmos; edp_improvement_range }
+
+let print_row ppf (r : Technology.row) =
+  Format.fprintf ppf "%-14s VDD=%.2f VT=%.2f   f=%6.2f GHz   EDP=%10.4g fJ-ps   SNM=%.3f V@."
+    r.Technology.label r.Technology.vdd r.Technology.vt
+    (r.Technology.frequency /. 1e9)
+    (r.Technology.edp /. 1e-27)
+    r.Technology.snm
+
+let print ppf r =
+  Report.heading ppf "Table 1: GNRFET (A/B/C) vs scaled CMOS (22/32/45nm)";
+  List.iter (print_row ppf) r.gnrfet;
+  List.iter (print_row ppf) r.cmos;
+  let lo, hi = r.edp_improvement_range in
+  Format.fprintf ppf "CMOS-optimum / GNRFET-B EDP ratio: %.0fX - %.0fX (paper: 40-168X)@."
+    lo hi
+
+let bench_kernel () =
+  let node = Node.n22 in
+  let pair = Technology.cmos_pair node in
+  let m = Metrics.inverter_metrics ~pair ~vdd:0.8 () in
+  Metrics.edp m ~stages:15

@@ -1,0 +1,17 @@
+(** Table 1: delay, EDP and SNM of the 15-stage FO4 ring oscillator for
+    GNRFETs (operating points A/B/C) versus scaled CMOS at 22/32/45 nm and
+    VDD ∈ \{0.8, 0.6, 0.4\} V. *)
+
+type result = {
+  gnrfet : Technology.row list;
+  cmos : Technology.row list;
+  edp_improvement_range : float * float;
+      (** min and max CMOS-optimum-to-GNRFET-B EDP ratio (paper:
+          40–168X) *)
+}
+
+val run : ?surface:Explore.surface -> unit -> result
+
+val print : Format.formatter -> result -> unit
+
+val bench_kernel : unit -> float

@@ -1,0 +1,16 @@
+(** Tables 2, 3 and 4: inverter delay, static/dynamic power and SNM under
+    width variations, charge impurities, and their combination, in the
+    paper's "one-of-four, all-four" percent format. *)
+
+type which = Width | Impurity | Combined
+
+type result = { which : which; table : Variation.table }
+
+val run : ?op:Variation.op_point -> which -> result
+
+val print : Format.formatter -> result -> unit
+
+val worst_case_summary : result -> string
+(** One-line summary of the worst degradations (for EXPERIMENTS.md). *)
+
+val bench_kernel : unit -> float

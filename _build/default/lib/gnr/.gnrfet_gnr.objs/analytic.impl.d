@@ -1,0 +1,1 @@
+lib/gnr/analytic.ml: Const Float

@@ -1,0 +1,1 @@
+lib/gnr/analytic.mli:

@@ -1,0 +1,1 @@
+lib/gnr/bands.ml: Array Eigen Float Hashtbl List Mutex Tight_binding Vec

@@ -1,0 +1,1 @@
+lib/gnr/bands.mli: Tight_binding

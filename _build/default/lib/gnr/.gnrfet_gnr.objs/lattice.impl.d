@@ -1,0 +1,1 @@
+lib/gnr/lattice.ml: Array Const Float List

@@ -1,0 +1,1 @@
+lib/gnr/modespace.ml: Array Bands Float Hashtbl Lattice Mutex Tight_binding

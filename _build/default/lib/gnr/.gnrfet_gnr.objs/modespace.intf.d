@@ -1,0 +1,1 @@
+lib/gnr/modespace.mli:

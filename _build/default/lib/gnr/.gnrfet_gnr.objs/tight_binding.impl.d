@@ -1,0 +1,1 @@
+lib/gnr/tight_binding.ml: Cmatrix Complex Const Lattice List Matrix

@@ -1,0 +1,1 @@
+lib/gnr/tight_binding.mli: Cmatrix Matrix

@@ -1,0 +1,1 @@
+lib/gnr/zigzag.ml: Array Const Float Lattice List Tight_binding

@@ -1,0 +1,1 @@
+lib/gnr/zigzag.mli: Lattice Tight_binding

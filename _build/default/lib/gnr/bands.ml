@@ -1,0 +1,47 @@
+type t = { n : int; ka : float array; energies : float array array }
+
+let compute ?(nk = 33) tb =
+  if nk < 2 then invalid_arg "Bands.compute: nk must be >= 2";
+  let ka = Vec.linspace 0. Float.pi nk in
+  let energies =
+    Array.map (fun k -> Eigen.hermitian_values (Tight_binding.bloch tb k)) ka
+  in
+  { n = tb.Tight_binding.n; ka; energies }
+
+let band_gap b =
+  let m = ref infinity in
+  Array.iter
+    (fun es -> Array.iter (fun e -> m := Float.min !m (Float.abs e)) es)
+    b.energies;
+  2. *. !m
+
+let conduction_subbands b m =
+  if m < 1 then invalid_arg "Bands.conduction_subbands: m must be positive";
+  let positive es =
+    let ps = Array.of_list (List.filter (fun e -> e > 0.) (Array.to_list es)) in
+    Array.sort compare ps;
+    ps
+  in
+  let per_k = Array.map positive b.energies in
+  let available = Array.fold_left (fun acc ps -> min acc (Array.length ps)) max_int per_k in
+  let m = min m available in
+  Array.init m (fun p ->
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun ps ->
+          lo := Float.min !lo ps.(p);
+          hi := Float.max !hi ps.(p))
+        per_k;
+      (!lo, !hi))
+
+let gap_cache : (int, float) Hashtbl.t = Hashtbl.create 8
+
+let gap_mutex = Mutex.create ()
+
+let gap_of_index ?(nk = 65) n =
+  match Mutex.protect gap_mutex (fun () -> Hashtbl.find_opt gap_cache n) with
+  | Some g -> g
+  | None ->
+    let g = band_gap (compute ~nk (Tight_binding.make n)) in
+    Mutex.protect gap_mutex (fun () -> Hashtbl.replace gap_cache n g);
+    g

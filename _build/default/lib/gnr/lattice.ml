@@ -1,0 +1,72 @@
+type family = Family_3q | Family_3q1 | Family_3q2
+
+let family n =
+  if n < 2 then invalid_arg "Lattice.family: index must be >= 2";
+  match n mod 3 with
+  | 0 -> Family_3q
+  | 1 -> Family_3q1
+  | 2 -> Family_3q2
+  | _ -> assert false
+
+let is_semiconducting_for_fets n =
+  match family n with
+  | Family_3q | Family_3q1 -> true
+  | Family_3q2 -> false
+
+let width n = float_of_int (n - 1) *. Const.a_graphene /. 2.
+
+let period = 3. *. Const.a_cc
+
+let atoms_per_cell n = 2 * n
+
+type atom = { x : float; y : float; row : int }
+
+(* Rows alternate between the two x-offset patterns of the honeycomb with
+   horizontal bonds: even rows hold atoms at x = 0 and a_cc, odd rows at
+   x = 1.5 a_cc and 2.5 a_cc (modulo the 3 a_cc period). *)
+let unit_cell n =
+  if n < 2 then invalid_arg "Lattice.unit_cell: index must be >= 2";
+  let acc = Const.a_cc in
+  let dy = Const.a_graphene /. 2. in
+  Array.init (2 * n) (fun k ->
+      let row = k / 2 in
+      let second = k mod 2 = 1 in
+      let x =
+        if row mod 2 = 0 then if second then acc else 0.
+        else if second then 2.5 *. acc
+        else 1.5 *. acc
+      in
+      { x; y = float_of_int row *. dy; row })
+
+let bond_length = Const.a_cc
+
+let close a b dx =
+  let d = Float.hypot (a.x -. b.x +. dx) (a.y -. b.y) in
+  Float.abs (d -. bond_length) < 0.05 *. bond_length
+
+let neighbours_within_cell n =
+  let atoms = unit_cell n in
+  let out = ref [] in
+  for i = 0 to Array.length atoms - 1 do
+    for j = i + 1 to Array.length atoms - 1 do
+      if close atoms.(i) atoms.(j) 0. then out := (i, j) :: !out
+    done
+  done;
+  List.rev !out
+
+let neighbours_to_next_cell n =
+  let atoms = unit_cell n in
+  let out = ref [] in
+  (* Atom j of the next cell sits at x + period. *)
+  for i = 0 to Array.length atoms - 1 do
+    for j = 0 to Array.length atoms - 1 do
+      if close atoms.(i) { (atoms.(j)) with x = atoms.(j).x +. period } 0. then
+        out := (i, j) :: !out
+    done
+  done;
+  List.rev !out
+
+let is_edge_bond n (i, j) =
+  let atoms = unit_cell n in
+  let edge row = row = 0 || row = n - 1 in
+  edge atoms.(i).row && atoms.(i).row = atoms.(j).row && edge atoms.(j).row

@@ -1,0 +1,42 @@
+(** Armchair graphene-nanoribbon (A-GNR) lattice geometry.
+
+    An A-GNR of index [n] has [n] dimer lines across the width; the
+    translational unit cell along the transport axis contains [2 n] atoms
+    and has length [3 a_cc = 0.426 nm] (the paper's notation, following
+    Nakada et al.). *)
+
+type family = Family_3q | Family_3q1 | Family_3q2
+(** The three A-GNR families: with the tight-binding edge correction the
+    gaps order as Eg(3q+1) > Eg(3q) >> Eg(3q+2) > 0. *)
+
+val family : int -> family
+(** Family of index [n] (by [n mod 3]: 0, 1, 2). *)
+
+val is_semiconducting_for_fets : int -> bool
+(** True for the [3q] and [3q+1] families used as FET channels in the paper
+    (the small-gap [3q+2] family is excluded there). *)
+
+val width : int -> float
+(** Ribbon width in meters, [(n-1) * a_graphene / 2]. *)
+
+val period : float
+(** Unit-cell length along transport, m. *)
+
+val atoms_per_cell : int -> int
+(** [2 n]. *)
+
+type atom = { x : float; y : float; row : int }
+(** Position within the unit cell (m), [row] = dimer-line index 0..n-1. *)
+
+val unit_cell : int -> atom array
+(** The [2 n] atom positions of one unit cell, ordered by row then x. *)
+
+val neighbours_within_cell : int -> (int * int) list
+(** Index pairs (i < j) of nearest-neighbour bonds inside a unit cell. *)
+
+val neighbours_to_next_cell : int -> (int * int) list
+(** Pairs (i, j): atom [i] of a cell bonds to atom [j] of the next cell. *)
+
+val is_edge_bond : int -> int * int -> bool
+(** Whether a (within-cell) bond connects two atoms both on an edge dimer
+    line (row 0 or row n-1): these bonds carry the edge correction. *)

@@ -1,0 +1,30 @@
+(** pz-orbital nearest-neighbour tight-binding Hamiltonian of an A-GNR.
+
+    The hopping is [-t] (t = 2.7 eV) on every nearest-neighbour bond, with
+    the edge dimer bonds strengthened to [-t (1 + delta)] according to the
+    ab-initio edge relaxation of Son–Cohen–Louie; on-site energies are zero
+    (mid-gap reference). *)
+
+type t = private {
+  n : int;  (** GNR index (dimer lines) *)
+  h00 : Matrix.t;  (** intra-cell block, [2n] × [2n], real symmetric *)
+  h01 : Matrix.t;  (** coupling to the next cell along transport *)
+}
+
+val make : ?hopping:float -> ?edge_delta:float -> int -> t
+(** [make n] builds the Hamiltonian blocks for index [n] (defaults:
+    [Const.t_pz], [Const.edge_bond_relaxation]). *)
+
+val of_bonds :
+  n:int ->
+  size:int ->
+  hopping:float ->
+  within:(int * int) list ->
+  next:(int * int) list ->
+  t
+(** Generic constructor from explicit bond lists (used by {!Zigzag} and
+    the test fixtures): uniform hopping [-t] on every listed bond. *)
+
+val bloch : t -> float -> Cmatrix.t
+(** [bloch tb ka] is [H00 + H01 e^{i ka} + H01^T e^{-i ka}] with [ka] the
+    dimensionless Bloch phase in [\[-pi, pi\]]. *)

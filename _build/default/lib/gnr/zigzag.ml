@@ -1,0 +1,52 @@
+let period = Const.a_graphene
+
+let atoms_per_cell n = 2 * n
+
+let width n =
+  if n < 2 then invalid_arg "Zigzag.width: index must be >= 2";
+  ((1.5 *. float_of_int n) -. 1.) *. Const.a_cc
+
+(* Chain m holds A_m at x in {0, a/2} (by parity) with its B partner half a
+   period away and 0.5 a_cc above; successive chains are linked by vertical
+   a_cc bonds. *)
+let unit_cell n =
+  if n < 2 then invalid_arg "Zigzag.unit_cell: index must be >= 2";
+  let acc = Const.a_cc in
+  let half = period /. 2. in
+  Array.init (2 * n) (fun k ->
+      let row = k / 2 in
+      let sub_b = k mod 2 = 1 in
+      let xa = if row mod 2 = 0 then 0. else half in
+      let x = if sub_b then (if xa = 0. then half else 0.) else xa in
+      let y = (1.5 *. acc *. float_of_int row) +. if sub_b then 0.5 *. acc else 0. in
+      { Lattice.x; y; row })
+
+let close (a : Lattice.atom) (b : Lattice.atom) dx =
+  let d = Float.hypot (a.Lattice.x -. b.Lattice.x +. dx) (a.Lattice.y -. b.Lattice.y) in
+  Float.abs (d -. Const.a_cc) < 0.05 *. Const.a_cc
+
+let neighbours_within_cell n =
+  let atoms = unit_cell n in
+  let out = ref [] in
+  for i = 0 to Array.length atoms - 1 do
+    for j = i + 1 to Array.length atoms - 1 do
+      if close atoms.(i) atoms.(j) 0. then out := (i, j) :: !out
+    done
+  done;
+  List.rev !out
+
+let neighbours_to_next_cell n =
+  let atoms = unit_cell n in
+  let out = ref [] in
+  for i = 0 to Array.length atoms - 1 do
+    for j = 0 to Array.length atoms - 1 do
+      if close atoms.(i) { (atoms.(j)) with Lattice.x = atoms.(j).Lattice.x +. period } 0.
+      then out := (i, j) :: !out
+    done
+  done;
+  List.rev !out
+
+let hamiltonian ?(hopping = Const.t_pz) n =
+  Tight_binding.of_bonds ~n ~size:(atoms_per_cell n) ~hopping
+    ~within:(neighbours_within_cell n)
+    ~next:(neighbours_to_next_cell n)

@@ -1,0 +1,27 @@
+(** Zigzag graphene-nanoribbon (Z-GNR) lattice and Hamiltonian.
+
+    The paper restricts its FET channels to armchair ribbons (all sub-10 nm
+    A-GNRs are semiconducting); zigzag ribbons carry flat edge-state bands
+    at the charge-neutrality point and are effectively metallic, which this
+    module demonstrates — completing the lattice library and providing a
+    negative control for the FET-channel selection. *)
+
+val period : float
+(** Unit-cell length along transport, m ([a_graphene]). *)
+
+val atoms_per_cell : int -> int
+(** [2 n] for [n] zigzag chains. *)
+
+val width : int -> float
+(** Ribbon width in meters, [(3 n / 2 - 1) * a_cc]. *)
+
+val unit_cell : int -> Lattice.atom array
+(** Atom positions of one unit cell ([row] = zigzag-chain index). *)
+
+val neighbours_within_cell : int -> (int * int) list
+
+val neighbours_to_next_cell : int -> (int * int) list
+
+val hamiltonian : ?hopping:float -> int -> Tight_binding.t
+(** Tight-binding blocks of the index-[n] Z-GNR (no edge correction: the
+    zigzag edge has no dimer bonds). Usable with {!Bands.compute}. *)

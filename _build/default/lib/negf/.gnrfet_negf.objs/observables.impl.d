@@ -1,0 +1,1 @@
+lib/negf/observables.ml: Array Const Fermi Float Integrate Rgf Vec

@@ -1,0 +1,1 @@
+lib/negf/observables.mli: Rgf

@@ -1,0 +1,1 @@
+lib/negf/rgf.ml: Array Complex

@@ -1,0 +1,1 @@
+lib/negf/rgf.mli: Complex

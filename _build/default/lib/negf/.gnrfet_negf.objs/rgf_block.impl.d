@@ -1,0 +1,1 @@
+lib/negf/rgf_block.ml: Array Cmatrix Complex Self_energy Tight_binding

@@ -1,0 +1,1 @@
+lib/negf/rgf_block.mli: Cmatrix

@@ -1,0 +1,1 @@
+lib/negf/self_energy.mli: Cmatrix Complex

@@ -1,0 +1,60 @@
+type bias = { mu_s : float; mu_d : float; kt : float }
+
+let energy_grid ~lo ~hi ~de =
+  if hi <= lo then invalid_arg "Observables.energy_grid: empty range";
+  if de <= 0. then invalid_arg "Observables.energy_grid: non-positive spacing";
+  let n = max 3 (1 + int_of_float (Float.ceil ((hi -. lo) /. de))) in
+  Vec.linspace lo hi n
+
+let transmission_spectrum ?eta ~egrid chain_at =
+  Array.map (fun e -> Rgf.transmission ?eta (chain_at e) e) egrid
+
+let current ?eta ~bias ~egrid chain_at =
+  let { mu_s; mu_d; kt } = bias in
+  let integrand =
+    Array.map
+      (fun e ->
+        let window = Fermi.window ~mu1:mu_s ~mu2:mu_d ~kt e in
+        if Float.abs window < 1e-14 then 0.
+        else Rgf.transmission ?eta (chain_at e) e *. window)
+      egrid
+  in
+  Const.g0 *. Integrate.trapezoid_samples ~xs:egrid ~ys:integrand
+
+let site_charge ?eta ~bias ~egrid ~midgap chain_at =
+  let { mu_s; mu_d; kt } = bias in
+  let n = Array.length (chain_at egrid.(0)).Rgf.onsite in
+  if Array.length midgap <> n then
+    invalid_arg "Observables.site_charge: midgap length mismatch";
+  let electrons = Array.make n 0. and holes = Array.make n 0. in
+  let ne = Array.length egrid in
+  (* Trapezoid accumulation of the occupied spectral weight, split into an
+     electron count above the local mid-gap and a hole count below it so
+     both integrals converge within a few kT of the contact potentials. *)
+  let previous = ref None in
+  for k = 0 to ne - 1 do
+    let e = egrid.(k) in
+    let { Rgf.a1; a2; _ } = Rgf.spectra ?eta (chain_at e) e in
+    let fs = Fermi.occupation ~mu:mu_s ~kt e in
+    let fd = Fermi.occupation ~mu:mu_d ~kt e in
+    let sample =
+      Array.init n (fun i ->
+          if e >= midgap.(i) then (a1.(i) *. fs) +. (a2.(i) *. fd)
+          else -.((a1.(i) *. (1. -. fs)) +. (a2.(i) *. (1. -. fd))))
+    in
+    begin
+      match !previous with
+      | None -> ()
+      | Some (e_prev, s_prev) ->
+        let h = 0.5 *. (e -. e_prev) in
+        for i = 0 to n - 1 do
+          let v = h *. (s_prev.(i) +. sample.(i)) in
+          if v >= 0. then electrons.(i) <- electrons.(i) +. v
+          else holes.(i) <- holes.(i) -. v
+        done
+    end;
+    previous := Some (e, sample)
+  done;
+  (* Spin degeneracy 2; 2π spectral normalization; electrons negative. *)
+  let scale = 2. *. Const.q /. (2. *. Float.pi) in
+  Array.init n (fun i -> -.scale *. (electrons.(i) -. holes.(i)))

@@ -1,0 +1,39 @@
+(** Physical observables of a mode-space chain: terminal current and site
+    charge from the RGF spectra. *)
+
+type bias = {
+  mu_s : float;  (** source electro-chemical potential, eV *)
+  mu_d : float;  (** drain electro-chemical potential, eV *)
+  kt : float;  (** thermal energy, eV *)
+}
+
+val energy_grid : lo:float -> hi:float -> de:float -> float array
+(** Uniform grid covering [\[lo, hi\]] with spacing at most [de] (at least
+    three points). *)
+
+val current :
+  ?eta:float -> bias:bias -> egrid:float array -> (float -> Rgf.chain) -> float
+(** [current ~bias ~egrid chain_at]: Landauer current (A) of one
+    spin-degenerate mode chain, [I = (2q²/h) ∫ T(E) (f_s - f_d) dE].
+    The chain is requested per energy point so energy-dependent contact
+    self-energies are handled exactly (wide-band contacts may ignore the
+    argument).  Positive current flows source to drain when
+    [mu_s > mu_d]. *)
+
+val site_charge :
+  ?eta:float ->
+  bias:bias ->
+  egrid:float array ->
+  midgap:float array ->
+  (float -> Rgf.chain) ->
+  float array
+(** Net mobile charge per site in coulombs (negative where electrons
+    dominate), computed from the contact-resolved spectral functions:
+    electrons are counted above the local [midgap] energy weighted by the
+    contact Fermi factors, holes below it weighted by the complements, with
+    spin degeneracy 2.  The [midgap] array is the local charge-neutrality
+    level per site (normally equal to [chain.onsite]). *)
+
+val transmission_spectrum :
+  ?eta:float -> egrid:float array -> (float -> Rgf.chain) -> float array
+(** T(E) sampled on the grid (for spectrum plots and tests). *)

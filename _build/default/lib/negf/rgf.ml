@@ -1,0 +1,119 @@
+type chain = {
+  onsite : float array;
+  hopping : float array;
+  sigma_l : Complex.t;
+  sigma_r : Complex.t;
+}
+
+type spectra = { t_coh : float; a1 : float array; a2 : float array }
+
+let gamma_of_sigma s = -2. *. s.Complex.im
+
+let check chain =
+  let n = Array.length chain.onsite in
+  if n < 2 then invalid_arg "Rgf: chain needs at least two sites";
+  if Array.length chain.hopping <> n - 1 then
+    invalid_arg "Rgf: hopping length must be n-1";
+  n
+
+(* All complex arithmetic below is hand-rolled on float pairs: this is the
+   innermost loop of every device simulation. *)
+
+(* 1/(zr + i zi) *)
+let inv_re zr zi = let d = (zr *. zr) +. (zi *. zi) in zr /. d
+
+let inv_im zr zi = let d = (zr *. zr) +. (zi *. zi) in -.zi /. d
+
+let spectra ?(eta = 1e-6) chain e =
+  let n = check chain in
+  let u = chain.onsite and h = chain.hopping in
+  let slr = chain.sigma_l.Complex.re and sli = chain.sigma_l.Complex.im in
+  let srr = chain.sigma_r.Complex.re and sri = chain.sigma_r.Complex.im in
+  (* Left-connected Green's functions gL_i. *)
+  let glr = Array.make n 0. and gli = Array.make n 0. in
+  let zr0 = e -. u.(0) -. slr and zi0 = eta -. sli in
+  glr.(0) <- inv_re zr0 zi0;
+  gli.(0) <- inv_im zr0 zi0;
+  for i = 1 to n - 1 do
+    let t2 = h.(i - 1) *. h.(i - 1) in
+    let zr = e -. u.(i) -. (t2 *. glr.(i - 1)) in
+    let zi = eta -. (t2 *. gli.(i - 1)) in
+    let zr = if i = n - 1 then zr -. srr else zr in
+    let zi = if i = n - 1 then zi -. sri else zi in
+    glr.(i) <- inv_re zr zi;
+    gli.(i) <- inv_im zr zi
+  done;
+  (* Right-connected Green's functions gR_i. *)
+  let grr = Array.make n 0. and gri = Array.make n 0. in
+  let zrn = e -. u.(n - 1) -. srr and zin = eta -. sri in
+  grr.(n - 1) <- inv_re zrn zin;
+  gri.(n - 1) <- inv_im zrn zin;
+  for i = n - 2 downto 0 do
+    let t2 = h.(i) *. h.(i) in
+    let zr = e -. u.(i) -. (t2 *. grr.(i + 1)) in
+    let zi = eta -. (t2 *. gri.(i + 1)) in
+    let zr = if i = 0 then zr -. slr else zr in
+    let zi = if i = 0 then zi -. sli else zi in
+    grr.(i) <- inv_re zr zi;
+    gri.(i) <- inv_im zr zi
+  done;
+  (* First column of the full G: G_{i,0} = gR_i * h_{i-1} * G_{i-1,0},
+     G_{0,0} fully-connected (gR_0 already includes sigma_l). *)
+  let c0r = Array.make n 0. and c0i = Array.make n 0. in
+  c0r.(0) <- grr.(0);
+  c0i.(0) <- gri.(0);
+  for i = 1 to n - 1 do
+    let ar = grr.(i) *. h.(i - 1) and ai = gri.(i) *. h.(i - 1) in
+    c0r.(i) <- (ar *. c0r.(i - 1)) -. (ai *. c0i.(i - 1));
+    c0i.(i) <- (ar *. c0i.(i - 1)) +. (ai *. c0r.(i - 1))
+  done;
+  (* Last column: G_{i,n-1} = gL_i * h_i * G_{i+1,n-1}, with the fully
+     connected G_{n-1,n-1} = gL_{n-1} (left sweep already has sigma_r). *)
+  let cnr = Array.make n 0. and cni = Array.make n 0. in
+  cnr.(n - 1) <- glr.(n - 1);
+  cni.(n - 1) <- gli.(n - 1);
+  for i = n - 2 downto 0 do
+    let ar = glr.(i) *. h.(i) and ai = gli.(i) *. h.(i) in
+    cnr.(i) <- (ar *. cnr.(i + 1)) -. (ai *. cni.(i + 1));
+    cni.(i) <- (ar *. cni.(i + 1)) +. (ai *. cnr.(i + 1))
+  done;
+  let gamma_l = gamma_of_sigma chain.sigma_l in
+  let gamma_r = gamma_of_sigma chain.sigma_r in
+  let a1 = Array.make n 0. and a2 = Array.make n 0. in
+  for i = 0 to n - 1 do
+    a1.(i) <- gamma_l *. ((c0r.(i) *. c0r.(i)) +. (c0i.(i) *. c0i.(i)));
+    a2.(i) <- gamma_r *. ((cnr.(i) *. cnr.(i)) +. (cni.(i) *. cni.(i)))
+  done;
+  let g0n2 = (cnr.(0) *. cnr.(0)) +. (cni.(0) *. cni.(0)) in
+  { t_coh = gamma_l *. gamma_r *. g0n2; a1; a2 }
+
+let transmission ?(eta = 1e-6) chain e =
+  let n = check chain in
+  let u = chain.onsite and h = chain.hopping in
+  let slr = chain.sigma_l.Complex.re and sli = chain.sigma_l.Complex.im in
+  let srr = chain.sigma_r.Complex.re and sri = chain.sigma_r.Complex.im in
+  (* Single left sweep, propagating the (0, i) matrix element product. *)
+  let zr0 = e -. u.(0) -. slr and zi0 = eta -. sli in
+  let glr = ref (inv_re zr0 zi0) and gli = ref (inv_im zr0 zi0) in
+  (* pr + i pi accumulates prod_{j<i} (gL_j h_j). *)
+  let pr = ref !glr and pi = ref !gli in
+  for i = 1 to n - 1 do
+    let t2 = h.(i - 1) *. h.(i - 1) in
+    let zr = e -. u.(i) -. (t2 *. !glr) in
+    let zi = eta -. (t2 *. !gli) in
+    let zr = if i = n - 1 then zr -. srr else zr in
+    let zi = if i = n - 1 then zi -. sri else zi in
+    glr := inv_re zr zi;
+    gli := inv_im zr zi;
+    (* Multiply the running product by h_{i-1}, then (at the end) by the
+       fully-connected G_nn; mid-chain we fold in gL_i progressively:
+       G_{0,n-1} = (prod_{i<n-1} gL_i h_i) * G_{n-1,n-1}; our loop keeps
+       prod gL h gL h ... by multiplying h then gL each step. *)
+    let qr = !pr *. h.(i - 1) in
+    let qi = !pi *. h.(i - 1) in
+    pr := (qr *. !glr) -. (qi *. !gli);
+    pi := (qr *. !gli) +. (qi *. !glr)
+  done;
+  let gamma_l = gamma_of_sigma chain.sigma_l in
+  let gamma_r = gamma_of_sigma chain.sigma_r in
+  gamma_l *. gamma_r *. ((!pr *. !pr) +. (!pi *. !pi))

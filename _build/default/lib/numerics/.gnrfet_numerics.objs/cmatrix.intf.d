@@ -1,0 +1,1 @@
+lib/numerics/cmatrix.mli: Complex Format Matrix

@@ -1,0 +1,1 @@
+lib/numerics/contour.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/numerics/eigen.ml: Array Cmatrix Complex Float Matrix

@@ -1,0 +1,1 @@
+lib/numerics/eigen.mli: Cmatrix Matrix

@@ -1,0 +1,1 @@
+lib/numerics/mixing.ml: Array List Lstsq Matrix Vec

@@ -1,0 +1,83 @@
+type t = {
+  n : int;
+  kl : int; (* half bandwidth *)
+  data : float array; (* row-major band storage, width 2*kl+1 *)
+  mutable factorized : bool;
+}
+
+let create ~n ~bandwidth =
+  if n <= 0 then invalid_arg "Banded.create: n must be positive";
+  if bandwidth < 0 then invalid_arg "Banded.create: negative bandwidth";
+  { n; kl = bandwidth; data = Array.make (n * ((2 * bandwidth) + 1)) 0.; factorized = false }
+
+let index t i j =
+  let off = t.kl + j - i in
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg "Banded: index out of range";
+  if off < 0 || off > 2 * t.kl then None else Some ((i * ((2 * t.kl) + 1)) + off)
+
+let set t i j v =
+  if t.factorized then invalid_arg "Banded.set: already factorized";
+  match index t i j with
+  | Some k -> t.data.(k) <- v
+  | None -> invalid_arg "Banded.set: outside band"
+
+let add_to t i j v =
+  if t.factorized then invalid_arg "Banded.add_to: already factorized";
+  match index t i j with
+  | Some k -> t.data.(k) <- t.data.(k) +. v
+  | None -> invalid_arg "Banded.add_to: outside band"
+
+let get t i j = match index t i j with Some k -> t.data.(k) | None -> 0.
+
+let raw_get t i j = t.data.((i * ((2 * t.kl) + 1)) + t.kl + j - i)
+
+let raw_set t i j v = t.data.((i * ((2 * t.kl) + 1)) + t.kl + j - i) <- v
+
+let factorize t =
+  if t.factorized then invalid_arg "Banded.factorize: already factorized";
+  let n = t.n and kl = t.kl in
+  for k = 0 to n - 1 do
+    let pivot = raw_get t k k in
+    if Float.abs pivot < 1e-300 then failwith "Banded.factorize: zero pivot";
+    let imax = min (n - 1) (k + kl) in
+    for i = k + 1 to imax do
+      let factor = raw_get t i k /. pivot in
+      raw_set t i k factor;
+      if factor <> 0. then begin
+        let jmax = min (n - 1) (k + kl) in
+        for j = k + 1 to jmax do
+          raw_set t i j (raw_get t i j -. (factor *. raw_get t k j))
+        done
+      end
+    done
+  done;
+  t.factorized <- true
+
+let solve t b =
+  if not t.factorized then invalid_arg "Banded.solve: not factorized";
+  if Array.length b <> t.n then invalid_arg "Banded.solve: dimension mismatch";
+  let n = t.n and kl = t.kl in
+  let x = Array.copy b in
+  for i = 0 to n - 1 do
+    let jmin = max 0 (i - kl) in
+    let acc = ref x.(i) in
+    for j = jmin to i - 1 do
+      acc := !acc -. (raw_get t i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let jmax = min (n - 1) (i + kl) in
+    let acc = ref x.(i) in
+    for j = i + 1 to jmax do
+      acc := !acc -. (raw_get t i j *. x.(j))
+    done;
+    x.(i) <- !acc /. raw_get t i i
+  done;
+  x
+
+let solve_fresh t b =
+  let c = { t with data = Array.copy t.data; factorized = false } in
+  factorize c;
+  solve c b

@@ -1,0 +1,32 @@
+(** Direct solver for banded linear systems (no pivoting).
+
+    Designed for the finite-volume Poisson matrices, which are symmetric and
+    strictly diagonally dominant, so elimination without pivoting is stable.
+    Storage is the standard band layout: [band.(i).(kl + j - i)] holds
+    [A(i,j)] for [|i - j| <= bandwidth]. *)
+
+type t
+(** A factorized banded system ready for repeated solves. *)
+
+val create : n:int -> bandwidth:int -> t
+(** Fresh zero matrix with [n] unknowns and half-bandwidth [bandwidth]. *)
+
+val set : t -> int -> int -> float -> unit
+(** [set t i j v] writes [A(i,j) = v]. Raises [Invalid_argument] outside the
+    band. Must be called before [factorize]. *)
+
+val add_to : t -> int -> int -> float -> unit
+(** Accumulating variant of {!set} (stamping). *)
+
+val get : t -> int -> int -> float
+(** Reads [A(i,j)]; elements outside the band read as [0.]. *)
+
+val factorize : t -> unit
+(** In-place LU without pivoting; raises [Failure] on a tiny pivot. After
+    factorization [set]/[add_to] must not be used. *)
+
+val solve : t -> float array -> float array
+(** Solve with a previously {!factorize}d matrix. *)
+
+val solve_fresh : t -> float array -> float array
+(** Copy, factorize and solve — keeps [t] reusable for re-assembly. *)

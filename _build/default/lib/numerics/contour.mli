@@ -1,0 +1,31 @@
+(** Iso-contour extraction from gridded 2D scalar fields (marching squares).
+
+    Used for the EDP / frequency / SNM contour analysis of Section 3.1 of the
+    paper (Fig 3(b)). *)
+
+type point = { x : float; y : float }
+
+type polyline = point list
+(** Ordered chain of points along one connected contour piece. *)
+
+val extract :
+  xs:float array -> ys:float array -> values:float array array -> level:float -> polyline list
+(** [extract ~xs ~ys ~values ~level] returns the iso-lines of the sampled
+    field [values.(i).(j)] at [(xs.(i), ys.(j))].  Segments from each grid
+    cell are chained into polylines; open contours terminate at the grid
+    boundary. *)
+
+val interior_points :
+  xs:float array -> ys:float array -> values:float array array -> level:float -> point list
+(** Flat list of all contour crossing points (cheaper than chaining when only
+    point-on-contour queries are needed). *)
+
+val minimize_on_contour :
+  xs:float array ->
+  ys:float array ->
+  values:float array array ->
+  level:float ->
+  objective:(float -> float -> float) ->
+  (point * float) option
+(** Point on the level set minimizing [objective x y], or [None] when the
+    level set is empty. *)

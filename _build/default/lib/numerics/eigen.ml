@@ -1,0 +1,80 @@
+(* Cyclic Jacobi rotations: robust and adequate for the <=72x72 Bloch
+   Hamiltonians we diagonalize. *)
+let symmetric a =
+  let n, m = Matrix.dims a in
+  if n <> m then invalid_arg "Eigen.symmetric: non-square";
+  let w = Matrix.init n n (fun i j -> 0.5 *. (Matrix.get a i j +. Matrix.get a j i)) in
+  let v = Matrix.identity n in
+  let off_diag_norm () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (Matrix.get w i j ** 2.)
+      done
+    done;
+    sqrt !acc
+  in
+  let rotate p q =
+    let apq = Matrix.get w p q in
+    if Float.abs apq > 1e-300 then begin
+      let app = Matrix.get w p p and aqq = Matrix.get w q q in
+      let theta = (aqq -. app) /. (2. *. apq) in
+      let t =
+        let s = if theta >= 0. then 1. else -1. in
+        s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+      in
+      let c = 1. /. sqrt ((t *. t) +. 1.) in
+      let s = t *. c in
+      for k = 0 to n - 1 do
+        let akp = Matrix.get w k p and akq = Matrix.get w k q in
+        Matrix.set w k p ((c *. akp) -. (s *. akq));
+        Matrix.set w k q ((s *. akp) +. (c *. akq))
+      done;
+      for k = 0 to n - 1 do
+        let apk = Matrix.get w p k and aqk = Matrix.get w q k in
+        Matrix.set w p k ((c *. apk) -. (s *. aqk));
+        Matrix.set w q k ((s *. apk) +. (c *. aqk))
+      done;
+      for k = 0 to n - 1 do
+        let vkp = Matrix.get v k p and vkq = Matrix.get v k q in
+        Matrix.set v k p ((c *. vkp) -. (s *. vkq));
+        Matrix.set v k q ((s *. vkp) +. (c *. vkq))
+      done
+    end
+  in
+  let max_sweeps = 64 in
+  let rec sweeps i =
+    if i < max_sweeps && off_diag_norm () > 1e-12 *. (1. +. Matrix.max_abs w) then begin
+      for p = 0 to n - 2 do
+        for q = p + 1 to n - 1 do
+          rotate p q
+        done
+      done;
+      sweeps (i + 1)
+    end
+  in
+  sweeps 0;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (Matrix.get w i i) (Matrix.get w j j)) order;
+  let values = Array.map (fun i -> Matrix.get w i i) order in
+  let vectors = Matrix.init n n (fun i j -> Matrix.get v i order.(j)) in
+  (values, vectors)
+
+let symmetric_values a = fst (symmetric a)
+
+let hermitian_values h =
+  let n, m = Cmatrix.dims h in
+  if n <> m then invalid_arg "Eigen.hermitian_values: non-square";
+  let embed =
+    Matrix.init (2 * n) (2 * n) (fun i j ->
+        let bi = i / n and bj = j / n in
+        let z = Cmatrix.get h (i mod n) (j mod n) in
+        match (bi, bj) with
+        | 0, 0 | 1, 1 -> z.Complex.re
+        | 0, 1 -> -.z.Complex.im
+        | 1, 0 -> z.Complex.im
+        | _ -> assert false)
+  in
+  let all = symmetric_values embed in
+  (* Each eigenvalue of the Hermitian matrix appears exactly twice. *)
+  Array.init n (fun i -> 0.5 *. (all.(2 * i) +. all.((2 * i) + 1)))

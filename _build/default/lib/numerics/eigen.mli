@@ -1,0 +1,18 @@
+(** Eigenvalue solvers for the small dense matrices used in band-structure
+    calculations. *)
+
+val symmetric : Matrix.t -> float array * Matrix.t
+(** [symmetric a] diagonalizes the real symmetric matrix [a] with the cyclic
+    Jacobi method, returning eigenvalues in ascending order and the matrix of
+    corresponding eigenvectors (columns).  [a] must be square; symmetry is the
+    caller's responsibility (the strictly lower triangle is ignored in the
+    sense that the matrix is symmetrized on entry). *)
+
+val symmetric_values : Matrix.t -> float array
+(** Eigenvalues only, ascending. *)
+
+val hermitian_values : Cmatrix.t -> float array
+(** Eigenvalues of a complex Hermitian matrix, ascending, via the standard
+    embedding of [A + iB] into the real symmetric
+    [\[\[A, -B\]; \[B, A\]\]] whose spectrum is that of the Hermitian matrix
+    with every eigenvalue doubled. *)

@@ -1,0 +1,51 @@
+let trapezoid_samples ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Integrate.trapezoid_samples: too few points";
+  if Array.length ys <> n then
+    invalid_arg "Integrate.trapezoid_samples: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to n - 2 do
+    let h = xs.(i + 1) -. xs.(i) in
+    if h <= 0. then invalid_arg "Integrate.trapezoid_samples: axis not increasing";
+    acc := !acc +. (0.5 *. h *. (ys.(i) +. ys.(i + 1)))
+  done;
+  !acc
+
+let trapezoid ~f ~a ~b ~n =
+  if n < 1 then invalid_arg "Integrate.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (h *. float_of_int i))
+  done;
+  !acc *. h
+
+let simpson ~f ~a ~b ~n =
+  if n < 1 then invalid_arg "Integrate.simpson: n must be positive";
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (a +. (h *. float_of_int i)))
+  done;
+  !acc *. h /. 3.
+
+let adaptive_simpson ?(tol = 1e-9) ?(max_depth = 30) ~f ~a ~b () =
+  let simpson_panel fa fm fb a b = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a b fa fm fb whole eps depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_panel fa flm fm a m in
+    let right = simpson_panel fm frm fb m b in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15. *. eps then
+      left +. right +. (delta /. 15.)
+    else
+      go a m fa flm fm left (eps /. 2.) (depth - 1)
+      +. go m b fm frm fb right (eps /. 2.) (depth - 1)
+  in
+  let m = 0.5 *. (a +. b) in
+  let fa = f a and fm = f m and fb = f b in
+  go a b fa fm fb (simpson_panel fa fm fb a b) tol max_depth

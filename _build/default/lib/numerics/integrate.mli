@@ -1,0 +1,15 @@
+(** Quadrature rules for the NEGF energy integrals and power measurements. *)
+
+val trapezoid_samples : xs:float array -> ys:float array -> float
+(** Trapezoid rule over tabulated samples (non-uniform spacing allowed,
+    strictly increasing [xs], at least two points). *)
+
+val trapezoid : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite trapezoid with [n >= 1] panels. *)
+
+val simpson : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite Simpson rule; [n] is rounded up to an even panel count. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> a:float -> b:float -> unit -> float
+(** Classic adaptive Simpson (default tolerance [1e-9], depth 30). *)

@@ -1,0 +1,32 @@
+let solve a b =
+  let rows, cols = Matrix.dims a in
+  if Array.length b <> rows then invalid_arg "Lstsq.solve: dimension mismatch";
+  if rows < cols then invalid_arg "Lstsq.solve: underdetermined system";
+  let at = Matrix.transpose a in
+  let ata = Matrix.mul at a in
+  (* Tiny Tikhonov term keeps nearly-collinear fits from blowing up. *)
+  let reg = 1e-12 *. Float.max 1. (Matrix.max_abs ata) in
+  for i = 0 to cols - 1 do
+    Matrix.add_to ata i i reg
+  done;
+  Matrix.solve ata (Matrix.mul_vec at b)
+
+let polyfit ~degree ~xs ~ys =
+  if degree < 0 then invalid_arg "Lstsq.polyfit: negative degree";
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Lstsq.polyfit: length mismatch";
+  if n < degree + 1 then invalid_arg "Lstsq.polyfit: too few points";
+  let a = Matrix.init n (degree + 1) (fun i j -> xs.(i) ** float_of_int j) in
+  solve a ys
+
+let polyval coeffs x =
+  let acc = ref 0. in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := (!acc *. x) +. coeffs.(i)
+  done;
+  !acc
+
+let line_fit ~xs ~ys =
+  match polyfit ~degree:1 ~xs ~ys with
+  | [| c0; c1 |] -> (c0, c1)
+  | _ -> assert false

@@ -1,0 +1,57 @@
+(** Dense real matrices (row-major), with LU factorization.
+
+    Sized for the small systems appearing in circuit Jacobians and least
+    squares; Poisson systems use {!Banded} or {!Sparse} instead. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Rows must be non-empty and of equal length. *)
+
+val copy : t -> t
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] accumulates [v] into [m.(i,j)] (stamping). *)
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+
+val mul_vec : t -> float array -> float array
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+type lu
+(** LU factorization with partial pivoting. *)
+
+val lu_factor : t -> lu
+(** Raises [Failure "Matrix.lu_factor: singular"] on (numerically) singular
+    input. The input matrix is not modified. *)
+
+val lu_solve : lu -> float array -> float array
+
+val solve : t -> float array -> float array
+(** One-shot [lu_solve (lu_factor a) b]. *)
+
+val inverse : t -> t
+
+val max_abs : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+let num_domains () =
+  match Sys.getenv_opt "GNRFET_DOMAINS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with Failure _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b outcome = Value of 'b | Error of exn
+
+let map ?domains f inputs =
+  let n = Array.length inputs in
+  let workers = match domains with Some d -> d | None -> num_domains () in
+  if workers <= 1 || n <= 1 then Array.map f inputs
+  else begin
+    let workers = min workers n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = try Value (f inputs.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          go ()
+        end
+      in
+      go ()
+    in
+    let handles = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join handles;
+    Array.map
+      (fun r ->
+        match r with
+        | Some (Value v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

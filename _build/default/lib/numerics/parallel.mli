@@ -1,0 +1,11 @@
+(** Minimal domain-based parallel map for embarrassingly parallel workloads
+    (device-table generation across bias points / device variants). *)
+
+val num_domains : unit -> int
+(** Worker count: [max 1 (recommended_domain_count () - 1)], overridable with
+    the [GNRFET_DOMAINS] environment variable. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], preserving order. Falls back to the sequential map
+    when [domains <= 1] or the input is small. Exceptions raised by [f] are
+    re-raised in the caller. *)

@@ -1,0 +1,112 @@
+let bisection ?(tol = 1e-12) ?(max_iter = 200) ~f ~a ~b () =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else begin
+    if fa *. fb > 0. then invalid_arg "Roots.bisection: no sign change";
+    let rec loop a b fa it =
+      let m = 0.5 *. (a +. b) in
+      if b -. a <= tol || it >= max_iter then m
+      else begin
+        let fm = f m in
+        if fm = 0. then m
+        else if fa *. fm < 0. then loop a m fa (it + 1)
+        else loop m b fm (it + 1)
+      end
+    in
+    if a <= b then loop a b fa 0 else loop b a fb 0
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~a ~b () =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else begin
+    if fa *. fb > 0. then invalid_arg "Roots.brent: no sign change";
+    (* Invariant: b is the best estimate, [a,b] brackets the root. *)
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref None in
+    let it = ref 0 in
+    while !result = None && !it < max_iter do
+      incr it;
+      if !fb *. !fc > 0. then begin
+        c := !a;
+        fc := !fa;
+        d := !b -. !a;
+        e := !d
+      end;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b;
+        b := !c;
+        c := !a;
+        fa := !fb;
+        fb := !fc;
+        fc := !fa
+      end;
+      let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0. then result := Some !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              (* secant *)
+              (2. *. xm *. s, 1. -. s)
+            else begin
+              (* inverse quadratic interpolation *)
+              let q = !fa /. !fc and r = !fb /. !fc in
+              ( s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))),
+                (q -. 1.) *. (r -. 1.) *. (s -. 1.) )
+            end
+          in
+          let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+          let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2. *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := !d
+          end
+        end
+        else begin
+          d := xm;
+          e := !d
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+        fb := f !b
+      end
+    done;
+    match !result with Some r -> r | None -> !b
+  end
+
+let bracket_scan ~f ~a ~b ~n =
+  if n < 1 then invalid_arg "Roots.bracket_scan: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let rec go i x fx =
+    if i >= n then None
+    else begin
+      let x' = a +. (h *. float_of_int (i + 1)) in
+      let fx' = f x' in
+      if fx = 0. then Some (x, x)
+      else if fx *. fx' <= 0. then Some (x, x')
+      else go (i + 1) x' fx'
+    end
+  in
+  go 0 a (f a)

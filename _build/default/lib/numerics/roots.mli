@@ -1,0 +1,18 @@
+(** Scalar root finding: used for voltage-transfer-curve solves and threshold
+    extraction. *)
+
+val bisection :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> a:float -> b:float -> unit -> float
+(** Requires a sign change on [\[a, b\]] (raises [Invalid_argument]
+    otherwise); converges to |b - a| <= tol (default [1e-12]). *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> a:float -> b:float -> unit -> float
+(** Brent's method (inverse quadratic + secant + bisection); same bracketing
+    contract as {!bisection}, but typically an order of magnitude fewer
+    evaluations. *)
+
+val bracket_scan :
+  f:(float -> float) -> a:float -> b:float -> n:int -> (float * float) option
+(** Scan [n] equal subintervals of [\[a, b\]] for the first sign change and
+    return its bracketing interval. *)

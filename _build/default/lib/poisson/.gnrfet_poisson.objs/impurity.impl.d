@@ -1,0 +1,1 @@
+lib/poisson/impurity.ml: Array Const Float

@@ -1,0 +1,1 @@
+lib/poisson/poisson3d.ml: Array Const List Sparse

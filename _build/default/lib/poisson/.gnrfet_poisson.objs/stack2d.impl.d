@@ -1,0 +1,1 @@
+lib/poisson/stack2d.ml: Array Banded Const

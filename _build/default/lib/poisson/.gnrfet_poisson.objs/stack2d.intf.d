@@ -1,0 +1,1 @@
+lib/poisson/stack2d.mli:

@@ -1,0 +1,23 @@
+type t = { charge : float; position : float; distance : float }
+
+let paper_default ~charge =
+  { charge; position = 2.0e-9; distance = 0.4e-9 }
+
+let screening_length = 2.5e-9
+
+let effective_eps_r = 4.0
+
+(* Coulomb prefactor e/(4 pi eps0) = 1.439964 V nm. *)
+let coulomb_vnm = Const.q /. (4. *. Float.pi *. Const.eps0) /. Const.nm
+
+let onsite_shift imp x =
+  let r_nm =
+    Float.hypot ((x -. imp.position) /. Const.nm) (imp.distance /. Const.nm)
+  in
+  let r_nm = Float.max r_nm 0.1 in
+  let screen = exp (-.(r_nm *. Const.nm) /. screening_length) in
+  (* A negative impurity charge repels electrons: it raises the local
+     mid-gap energy u (u = -V). *)
+  -.imp.charge *. coulomb_vnm /. (effective_eps_r *. r_nm) *. screen
+
+let profile imp positions = Array.map (onsite_shift imp) positions

@@ -1,0 +1,102 @@
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  spacing : float;
+  matrix : Sparse.t;
+}
+
+let make ~nx ~ny ~nz ~spacing ~eps_r =
+  if nx < 3 || ny < 3 || nz < 3 then invalid_arg "Poisson3d.make: grid too small";
+  if spacing <= 0. then invalid_arg "Poisson3d.make: non-positive spacing";
+  (* Interior unknowns only; Dirichlet boundaries eliminated. *)
+  let mx = nx - 2 and my = ny - 2 and mz = nz - 2 in
+  let idx i j k = (((i - 1) * my) + (j - 1)) * mz + (k - 1) in
+  let builder = Sparse.Builder.create (mx * my * mz) in
+  let eps i j k =
+    (* Sample at node (i,j,k), in physical coordinates. *)
+    Const.eps0
+    *. eps_r (float_of_int i *. spacing) (float_of_int j *. spacing)
+         (float_of_int k *. spacing)
+  in
+  let face_eps i j k i' j' k' =
+    0.5 *. (eps i j k +. eps i' j' k')
+  in
+  for i = 1 to nx - 2 do
+    for j = 1 to ny - 2 do
+      for k = 1 to nz - 2 do
+        let row = idx i j k in
+        let neighbours =
+          [
+            (i - 1, j, k); (i + 1, j, k);
+            (i, j - 1, k); (i, j + 1, k);
+            (i, j, k - 1); (i, j, k + 1);
+          ]
+        in
+        List.iter
+          (fun (i', j', k') ->
+            let c = face_eps i j k i' j' k' *. spacing in
+            Sparse.Builder.add builder row row c;
+            let interior =
+              i' >= 1 && i' <= nx - 2 && j' >= 1 && j' <= ny - 2 && k' >= 1
+              && k' <= nz - 2
+            in
+            if interior then Sparse.Builder.add builder row (idx i' j' k') (-.c))
+          neighbours
+      done
+    done
+  done;
+  { nx; ny; nz; spacing; matrix = Sparse.Builder.finalize builder }
+
+type charge = { ix : int; iy : int; iz : int; coulombs : float }
+
+let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
+  let { nx; ny; nz; spacing; matrix } = t in
+  let mx = nx - 2 and my = ny - 2 and mz = nz - 2 in
+  let idx i j k = (((i - 1) * my) + (j - 1)) * mz + (k - 1) in
+  let rhs = Array.make (mx * my * mz) 0. in
+  (* div(eps grad u) = rho  ->  (sum c) u_c - sum c u_nb = -q_cell. *)
+  List.iter
+    (fun { ix; iy; iz; coulombs } ->
+      if ix < 1 || ix > nx - 2 || iy < 1 || iy > ny - 2 || iz < 1 || iz > nz - 2
+      then invalid_arg "Poisson3d.solve: charge outside interior";
+      rhs.(idx ix iy iz) <- rhs.(idx ix iy iz) -. coulombs)
+    charges;
+  (* Dirichlet boundary contributions (uniform boundary value). *)
+  ignore spacing;
+  if boundary <> 0. then begin
+    (* Uniform-boundary case: each boundary-touching face contributes
+       c*boundary; with uniform permittivity every face conductance equals
+       diagonal/6 (exact), and for smoothly varying permittivity the error
+       is second order. *)
+    for i = 1 to nx - 2 do
+      for j = 1 to ny - 2 do
+        for k = 1 to nz - 2 do
+          let row = idx i j k in
+          let boundary_faces =
+            (if i = 1 then 1 else 0)
+            + (if i = nx - 2 then 1 else 0)
+            + (if j = 1 then 1 else 0)
+            + (if j = ny - 2 then 1 else 0)
+            + (if k = 1 then 1 else 0)
+            + if k = nz - 2 then 1 else 0
+          in
+          if boundary_faces > 0 then begin
+            (* Approximate: use the local diagonal/6 as the face
+               conductance; exact for uniform permittivity. *)
+            let d = (Sparse.diagonal matrix).(row) in
+            rhs.(row) <- rhs.(row) +. (boundary *. d /. 6. *. float_of_int boundary_faces)
+          end
+        done
+      done
+    done
+  end;
+  let x, _ = Sparse.cg ~tol ~max_iter:(20 * mx * my * mz) matrix rhs in
+  Array.init nx (fun i ->
+      Array.init ny (fun j ->
+          Array.init nz (fun k ->
+              if i = 0 || i = nx - 1 || j = 0 || j = ny - 1 || k = 0 || k = nz - 1
+              then boundary
+              else x.(idx i j k))))
+
+let line_profile u ~iy ~iz = Array.map (fun plane -> plane.(iy).(iz)) u

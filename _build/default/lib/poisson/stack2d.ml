@@ -1,0 +1,168 @@
+type contact_style = Plane | Point
+
+type dirichlet = D_left | D_right | D_bottom | D_top
+
+type t = {
+  xs : float array;
+  zs : float array;
+  sheet_row : int;
+  style : contact_style;
+  unknown_of : int array array; (* node -> unknown index, or -1 *)
+  dirichlet_of : dirichlet option array array;
+  matrix : Banded.t; (* factorized *)
+  cond_east : float array array; (* (nx-1) x nz *)
+  cond_north : float array array; (* nx x (nz-1) *)
+  n_unknowns : int;
+}
+
+type bc = { left : float; right : float; bottom : float; top : float }
+
+let nx t = Array.length t.xs
+let nz t = Array.length t.zs
+
+let cell_size axis k =
+  let n = Array.length axis in
+  let lo = if k = 0 then axis.(0) else 0.5 *. (axis.(k - 1) +. axis.(k)) in
+  let hi = if k = n - 1 then axis.(n - 1) else 0.5 *. (axis.(k) +. axis.(k + 1)) in
+  hi -. lo
+
+let make ?(contact_style = Point) ~xs ~zs ~eps_r ~sheet_row () =
+  let nx = Array.length xs and nz = Array.length zs in
+  if nx < 3 || nz < 3 then invalid_arg "Stack2d.make: grid too small";
+  if sheet_row <= 0 || sheet_row >= nz - 1 then
+    invalid_arg "Stack2d.make: sheet_row must be interior";
+  let eps x z = Const.eps0 *. eps_r x z in
+  let cond_east =
+    Array.init (nx - 1) (fun i ->
+        Array.init nz (fun j ->
+            let xm = 0.5 *. (xs.(i) +. xs.(i + 1)) in
+            eps xm zs.(j) *. cell_size zs j /. (xs.(i + 1) -. xs.(i))))
+  in
+  let cond_north =
+    Array.init nx (fun i ->
+        Array.init (nz - 1) (fun j ->
+            let zm = 0.5 *. (zs.(j) +. zs.(j + 1)) in
+            eps xs.(i) zm *. cell_size xs i /. (zs.(j + 1) -. zs.(j))))
+  in
+  (* Classify nodes: gates always Dirichlet; contacts per style. *)
+  let dirichlet_of =
+    Array.init nx (fun i ->
+        Array.init nz (fun j ->
+            if j = 0 then Some D_bottom
+            else if j = nz - 1 then Some D_top
+            else begin
+              match contact_style with
+              | Plane ->
+                if i = 0 then Some D_left
+                else if i = nx - 1 then Some D_right
+                else None
+              | Point ->
+                if i = 0 && j = sheet_row then Some D_left
+                else if i = nx - 1 && j = sheet_row then Some D_right
+                else None
+            end))
+  in
+  let unknown_of = Array.make_matrix nx nz (-1) in
+  let count = ref 0 in
+  for i = 0 to nx - 1 do
+    for j = 1 to nz - 2 do
+      if dirichlet_of.(i).(j) = None then begin
+        unknown_of.(i).(j) <- !count;
+        incr count
+      end
+    done
+  done;
+  let n_unknowns = !count in
+  (* i-major with j fastest: neighbour offsets bounded by nz. *)
+  let m = Banded.create ~n:n_unknowns ~bandwidth:nz in
+  for i = 0 to nx - 1 do
+    for j = 1 to nz - 2 do
+      let k = unknown_of.(i).(j) in
+      if k >= 0 then begin
+        let stamp neighbour cond =
+          match neighbour with
+          | None -> () (* outside the domain: Neumann, zero flux *)
+          | Some (i', j') ->
+            Banded.add_to m k k cond;
+            let k' = unknown_of.(i').(j') in
+            if k' >= 0 then Banded.add_to m k k' (-.cond)
+          (* Dirichlet neighbours contribute to the RHS in [solve]. *)
+        in
+        stamp (if i > 0 then Some (i - 1, j) else None)
+          (if i > 0 then cond_east.(i - 1).(j) else 0.);
+        stamp (if i < nx - 1 then Some (i + 1, j) else None)
+          (if i < nx - 1 then cond_east.(i).(j) else 0.);
+        stamp (Some (i, j - 1)) cond_north.(i).(j - 1);
+        stamp (Some (i, j + 1)) cond_north.(i).(j)
+      end
+    done
+  done;
+  Banded.factorize m;
+  {
+    xs;
+    zs;
+    sheet_row;
+    style = contact_style;
+    unknown_of;
+    dirichlet_of;
+    matrix = m;
+    cond_east;
+    cond_north;
+    n_unknowns;
+  }
+
+let dirichlet_value bc = function
+  | D_left -> bc.left
+  | D_right -> bc.right
+  | D_bottom -> bc.bottom
+  | D_top -> bc.top
+
+let solve t ~bc ~sheet_charge =
+  let nx = nx t and nz = nz t in
+  if Array.length sheet_charge <> nx - 2 then
+    invalid_arg "Stack2d.solve: sheet_charge must have nx-2 entries";
+  let rhs = Array.make t.n_unknowns 0. in
+  (* Sheet charge: div(eps grad u) = rho discretizes to
+     (sum c) u_c - sum c u_nb = -rho_cell. *)
+  for i = 1 to nx - 2 do
+    let k = t.unknown_of.(i).(t.sheet_row) in
+    if k >= 0 then begin
+      let dx = cell_size t.xs i in
+      rhs.(k) <- rhs.(k) -. (sheet_charge.(i - 1) *. dx)
+    end
+  done;
+  (* Dirichlet neighbour contributions. *)
+  for i = 0 to nx - 1 do
+    for j = 1 to nz - 2 do
+      let k = t.unknown_of.(i).(j) in
+      if k >= 0 then begin
+        let bump neighbour cond =
+          match neighbour with
+          | None -> ()
+          | Some (i', j') -> begin
+            match t.dirichlet_of.(i').(j') with
+            | Some d -> rhs.(k) <- rhs.(k) +. (cond *. dirichlet_value bc d)
+            | None -> ()
+          end
+        in
+        bump (if i > 0 then Some (i - 1, j) else None)
+          (if i > 0 then t.cond_east.(i - 1).(j) else 0.);
+        bump (if i < nx - 1 then Some (i + 1, j) else None)
+          (if i < nx - 1 then t.cond_east.(i).(j) else 0.);
+        bump (Some (i, j - 1)) t.cond_north.(i).(j - 1);
+        bump (Some (i, j + 1)) t.cond_north.(i).(j)
+      end
+    done
+  done;
+  let x = Banded.solve t.matrix rhs in
+  Array.init nx (fun i ->
+      Array.init nz (fun j ->
+          match t.dirichlet_of.(i).(j) with
+          | Some d -> dirichlet_value bc d
+          | None ->
+            let k = t.unknown_of.(i).(j) in
+            if k >= 0 then x.(k) else 0.))
+
+let plane_potential t u =
+  let nx = nx t in
+  Array.init (nx - 2) (fun i -> u.(i + 1).(t.sheet_row))

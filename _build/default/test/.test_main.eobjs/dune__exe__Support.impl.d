@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Array Float Iv_table Matrix Params Printexc QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Fet_model Float List Measure Mna Netlist Printf Snm Support Vec

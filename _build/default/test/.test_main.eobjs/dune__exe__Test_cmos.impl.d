@@ -1,0 +1,1 @@
+test/test_cmos.ml: Alcotest Array Cells Compact Fet_model Float Metrics Node Snm Support Vec

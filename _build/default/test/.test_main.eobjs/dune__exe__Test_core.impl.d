@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cells Explore Fet_model Gnr_model List Metrics Snm Support Variation Vec

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Filename Float Fun Impurity Iv_table Option Params Printf Scf Support Sys Table_cache Unix Vec Vt

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analytic Array Bands Cells Const Explore Fet_model Float Iv_table List Measure Mna Netlist Printf Roughness Spice_deck String Support Tight_binding Vec Zigzag

@@ -1,0 +1,1 @@
+test/test_gnr.ml: Alcotest Array Bands Cmatrix Const Fermi Float Integrate Lattice List Matrix Modespace Printf Support Tight_binding

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cells Gnr_model Iv_table Lazy Metrics Snm Support

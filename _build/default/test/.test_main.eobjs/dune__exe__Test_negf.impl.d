@@ -1,0 +1,1 @@
+test/test_negf.ml: Alcotest Array Bands Cmatrix Complex Const Fermi Float Lattice List Modespace Observables Printf Rgf Rgf_block Self_energy Support Tight_binding Vec

@@ -1,0 +1,1 @@
+test/test_numerics_basic.ml: Alcotest Array Float Gen Integrate List Lstsq Mixing Parallel QCheck Rng Roots Stats Support Vec

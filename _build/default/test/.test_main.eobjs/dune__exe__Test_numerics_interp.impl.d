@@ -1,0 +1,1 @@
+test/test_numerics_interp.ml: Alcotest Array Contour Float Interp List Printf QCheck Support Vec

@@ -1,0 +1,1 @@
+test/test_numerics_linalg.ml: Alcotest Array Banded Cmatrix Complex Eigen Matrix QCheck Rng Sparse Support Tridiag Vec

@@ -1,0 +1,1 @@
+test/test_poisson.ml: Alcotest Array Const Float Impurity Poisson3d Printf Stack2d Support Vec

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Compact Fermi Fet_model Float Gnr_model Lazy List Matrix Node QCheck Rgf Rng Self_energy Snm Stack2d Support Vec

@@ -1,0 +1,199 @@
+(* Integration tests of the self-consistent device solver and the lookup
+   tables, on a reduced (6 nm, coarse-energy-grid) device so the whole
+   suite stays fast. *)
+
+open Support
+
+let tiny = tiny_device ()
+
+let test_scf_converges () =
+  let s = Scf.solve tiny ~vg:0.3 ~vd:0.3 in
+  Alcotest.(check bool) "converged" true (s.Scf.residual <= 1e-3);
+  Alcotest.(check bool) "few iterations" true (s.Scf.iterations < 120)
+
+let test_scf_zero_vd_zero_current () =
+  let s = Scf.solve tiny ~vg:0.4 ~vd:0. in
+  Alcotest.(check bool) "I(vd=0) ~ 0" true (Float.abs s.Scf.current < 1e-12)
+
+let test_scf_ambipolar_minimum () =
+  let vd = 0.4 in
+  let vgs = Vec.linspace 0. 0.6 13 in
+  let init = ref None in
+  let ids =
+    Array.map
+      (fun vg ->
+        let s = Scf.solve ?init:!init tiny ~vg ~vd in
+        init := Some s.Scf.potential;
+        s.Scf.current)
+      vgs
+  in
+  let k = Vec.argmin ids in
+  (* Minimum leakage near VG = VD/2 (Sec 2 of the paper). *)
+  approx ~eps:0.13 "min near VD/2" (vd /. 2.) vgs.(k);
+  (* Current rises on both sides (ambipolar). *)
+  Alcotest.(check bool) "electron branch rises" true (ids.(12) > 3. *. ids.(k));
+  Alcotest.(check bool) "hole branch rises" true (ids.(0) > 3. *. ids.(k))
+
+let test_scf_electron_branch_monotone () =
+  let vd = 0.4 in
+  let init = ref None in
+  let prev = ref 0. in
+  Array.iter
+    (fun vg ->
+      let s = Scf.solve ?init:!init tiny ~vg ~vd in
+      init := Some s.Scf.potential;
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at %.2f" vg)
+        true
+        (s.Scf.current >= !prev *. 0.98);
+      prev := s.Scf.current)
+    [| 0.3; 0.4; 0.5; 0.6; 0.7 |]
+
+let test_scf_charge_sign_flip () =
+  let vd = 0.3 in
+  let hole_side = Scf.solve tiny ~vg:(-0.1) ~vd in
+  let electron_side = Scf.solve tiny ~vg:0.6 ~vd in
+  Alcotest.(check bool) "holes positive charge" true (hole_side.Scf.charge > 0.);
+  Alcotest.(check bool) "electrons negative charge" true (electron_side.Scf.charge < 0.)
+
+let test_scf_gate_offset_shift () =
+  (* I(vg; offset) = I(vg + offset; 0) to table accuracy. *)
+  let shifted = { tiny with Params.gate_offset = 0.15 } in
+  let a = Scf.solve tiny ~vg:0.55 ~vd:0.4 in
+  let b = Scf.solve shifted ~vg:0.4 ~vd:0.4 in
+  approx_rel ~rel:0.05 "offset equals vg shift" a.Scf.current b.Scf.current
+
+let test_scf_impurity_barrier () =
+  (* A negative impurity near the source raises the conduction band and
+     suppresses the electron on-current.  The impurity is placed
+     proportionally into this 6 nm test channel (the paper-scale default
+     position would sit mid-channel here, where the ambipolar hole branch
+     can compensate). *)
+  let dirty =
+    {
+      tiny with
+      Params.impurities =
+        [ { Impurity.charge = -2.; position = 0.8e-9; distance = 0.4e-9 } ];
+    }
+  in
+  let clean_sol = Scf.solve tiny ~vg:0.5 ~vd:0.4 in
+  let dirty_sol = Scf.solve dirty ~vg:0.5 ~vd:0.4 in
+  let clean_peak = Vec.maximum (Scf.conduction_band_profile tiny clean_sol) in
+  let dirty_peak = Vec.maximum (Scf.conduction_band_profile dirty dirty_sol) in
+  Alcotest.(check bool) "barrier raised" true (dirty_peak > clean_peak +. 0.05);
+  Alcotest.(check bool) "current suppressed" true
+    (dirty_sol.Scf.current < 0.75 *. clean_sol.Scf.current)
+
+let test_scf_warm_start_consistency () =
+  let cold = Scf.solve tiny ~vg:0.45 ~vd:0.35 in
+  let neighbour = Scf.solve tiny ~vg:0.4 ~vd:0.35 in
+  let warm = Scf.solve ~init:neighbour.Scf.potential tiny ~vg:0.45 ~vd:0.35 in
+  approx_rel ~rel:0.03 "same answer from warm start" cold.Scf.current warm.Scf.current
+
+let tiny_grid =
+  { Iv_table.vg_min = -0.1; vg_max = 0.8; n_vg = 10; vd_max = 0.6; n_vd = 5 }
+
+let test_iv_table_roundtrip () =
+  let t = Iv_table.generate ~grid:tiny_grid tiny in
+  (* Node values are reproduced exactly by the interpolant. *)
+  let vg = t.Iv_table.vg.(4) and vd = t.Iv_table.vd.(2) in
+  approx_rel ~rel:1e-12 "node value" t.Iv_table.current.(4).(2)
+    (Iv_table.current_at t ~vg ~vd);
+  (* Interpolated values sit between neighbours. *)
+  let mid = Iv_table.current_at t ~vg:(0.5 *. (t.Iv_table.vg.(4) +. t.Iv_table.vg.(5))) ~vd in
+  let lo = Float.min t.Iv_table.current.(4).(2) t.Iv_table.current.(5).(2) in
+  let hi = Float.max t.Iv_table.current.(4).(2) t.Iv_table.current.(5).(2) in
+  Alcotest.(check bool) "between nodes" true (mid >= lo -. 1e-18 && mid <= hi +. 1e-18)
+
+let test_iv_table_derivative_consistency () =
+  let t = Iv_table.generate ~grid:tiny_grid tiny in
+  let vg = 0.35 and vd = 0.3 in
+  let h = 1e-4 in
+  let fd =
+    (Iv_table.charge_at t ~vg:(vg +. h) ~vd -. Iv_table.charge_at t ~vg:(vg -. h) ~vd)
+    /. (2. *. h)
+  in
+  approx_rel ~rel:1e-6 "dq/dvg finite difference" fd (Iv_table.dq_dvg t ~vg ~vd)
+
+let test_iv_table_negative_vd_rejected () =
+  let t = Iv_table.generate ~grid:tiny_grid tiny in
+  check_raises_invalid "vd < 0" (fun () ->
+      ignore (Iv_table.current_at t ~vg:0.3 ~vd:(-0.1)))
+
+let test_vt_extract_from_curve_linear () =
+  (* For an exactly linear branch I = g (V - VT), the extrapolation method
+     recovers VT exactly. *)
+  let vt_true = 0.27 in
+  let vg = Vec.linspace 0.3 0.8 11 in
+  let id = Array.map (fun v -> 2e-6 *. (v -. vt_true)) vg in
+  approx ~eps:1e-6 "linear branch" vt_true (Vt.extract_from_curve ~vg ~id)
+
+let test_vt_extract_from_table () =
+  let t = Iv_table.generate ~grid:tiny_grid tiny in
+  let vt = Vt.extract_from_table t in
+  Alcotest.(check bool) "vt in a sensible window" true (vt > 0.1 && vt < 0.65)
+
+let with_temp_cache f =
+  let dir = Filename.temp_file "gnrfet_tables" "" in
+  Sys.remove dir;
+  Unix.putenv "GNRFET_TABLE_DIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "GNRFET_TABLE_DIR" "_tables";
+      Table_cache.clear_memory ();
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Table_cache.clear_memory ();
+      f ())
+
+let test_table_cache_roundtrip () =
+  with_temp_cache (fun () ->
+      Alcotest.(check bool) "miss before" true
+        (Option.is_none (Table_cache.lookup ~grid:tiny_grid tiny));
+      let t1 = Table_cache.get ~grid:tiny_grid tiny in
+      (* Second get: memory hit, same values. *)
+      let t2 = Table_cache.get ~grid:tiny_grid tiny in
+      approx "memory hit" t1.Iv_table.current.(3).(2) t2.Iv_table.current.(3).(2);
+      (* Clear memory: disk hit. *)
+      Table_cache.clear_memory ();
+      match Table_cache.lookup ~grid:tiny_grid tiny with
+      | Some t3 ->
+        approx "disk hit" t1.Iv_table.current.(3).(2) t3.Iv_table.current.(3).(2)
+      | None -> Alcotest.fail "expected a disk hit")
+
+let test_table_cache_distinguishes_devices () =
+  with_temp_cache (fun () ->
+      let t9 = Table_cache.get ~grid:tiny_grid (tiny_device ~gnr_index:9 ()) in
+      let t12 = Table_cache.get ~grid:tiny_grid tiny in
+      Alcotest.(check bool) "different devices differ" true
+        (t9.Iv_table.current.(8).(3) <> t12.Iv_table.current.(8).(3)))
+
+let test_params_cache_key_stability () =
+  let a = Params.cache_key (Params.default ()) in
+  let b = Params.cache_key (Params.default ()) in
+  Alcotest.(check string) "stable" a b;
+  let c = Params.cache_key (Params.with_impurity_charge (Params.default ()) 1.) in
+  Alcotest.(check bool) "impurity changes key" true (a <> c)
+
+let suite =
+  [
+    Alcotest.test_case "scf converges" `Quick test_scf_converges;
+    Alcotest.test_case "zero vd, zero current" `Quick test_scf_zero_vd_zero_current;
+    Alcotest.test_case "ambipolar minimum" `Quick test_scf_ambipolar_minimum;
+    Alcotest.test_case "electron branch monotone" `Quick test_scf_electron_branch_monotone;
+    Alcotest.test_case "charge sign flip" `Quick test_scf_charge_sign_flip;
+    Alcotest.test_case "gate offset shift" `Quick test_scf_gate_offset_shift;
+    Alcotest.test_case "impurity barrier" `Quick test_scf_impurity_barrier;
+    Alcotest.test_case "warm start consistency" `Quick test_scf_warm_start_consistency;
+    Alcotest.test_case "iv table roundtrip" `Quick test_iv_table_roundtrip;
+    Alcotest.test_case "iv table derivatives" `Quick test_iv_table_derivative_consistency;
+    Alcotest.test_case "iv table vd<0 rejected" `Quick test_iv_table_negative_vd_rejected;
+    Alcotest.test_case "vt from linear curve" `Quick test_vt_extract_from_curve_linear;
+    Alcotest.test_case "vt from table" `Quick test_vt_extract_from_table;
+    Alcotest.test_case "table cache roundtrip" `Quick test_table_cache_roundtrip;
+    Alcotest.test_case "table cache device keying" `Quick test_table_cache_distinguishes_devices;
+    Alcotest.test_case "cache key stability" `Quick test_params_cache_key_stability;
+  ]

@@ -1,0 +1,69 @@
+(* End-to-end integration: quantum device -> lookup table -> circuit model
+   -> inverter metrics, on the reduced 6 nm device so the chain runs in
+   seconds.  This is the whole multi-scale pipeline of the paper in one
+   test. *)
+
+open Support
+
+(* Shared across the tests below; generated once. *)
+let tiny = tiny_device ()
+
+let grid = { Iv_table.vg_min = -0.2; vg_max = 0.9; n_vg = 23; vd_max = 0.6; n_vd = 7 }
+
+let table = lazy (Iv_table.generate ~grid tiny)
+
+let pair () =
+  let table = Lazy.force table in
+  let shift = Gnr_model.shift_for_vt table 0.13 in
+  let tables = [ table; table; table; table ] in
+  {
+    Cells.nfet = Gnr_model.array_fet ~polarity:Gnr_model.N_type ~vt_shift:shift tables;
+    pfet = Gnr_model.array_fet ~polarity:Gnr_model.P_type ~vt_shift:shift tables;
+    ext = Gnr_model.default_extrinsic ();
+  }
+
+let test_pipeline_inverter () =
+  let m = Metrics.inverter_metrics ~pair:(pair ()) ~vdd:0.4 () in
+  (* A real quantum-derived inverter must switch in picoseconds, leak less
+     than it drives, and have a usable noise margin. *)
+  Alcotest.(check bool) "ps-scale delay" true
+    (m.Metrics.tp > 0.1e-12 && m.Metrics.tp < 100e-12);
+  Alcotest.(check bool) "snm positive" true (m.Metrics.snm > 0.01);
+  (* The 6 nm test channel leaks much more than the paper's 15 nm device;
+     still, leakage must stay within an order of magnitude of the dynamic
+     power at the implied RO frequency. *)
+  let p_dyn = Metrics.dynamic_power m ~frequency:(Metrics.ro_frequency m ~stages:15) in
+  Alcotest.(check bool) "leakage within 10x of dynamic" true
+    (m.Metrics.p_static < 10. *. p_dyn)
+
+let test_pipeline_vtc_rail_to_rail () =
+  let v = Cells.vtc ~pair:(pair ()) ~vdd:0.4 ~n:21 () in
+  Alcotest.(check bool) "output high > 0.3" true (v.Snm.vout.(0) > 0.3);
+  Alcotest.(check bool) "output low < 0.1" true (v.Snm.vout.(20) < 0.1)
+
+let test_pipeline_ring () =
+  match Metrics.ring_metrics ~stages:(Array.make 3 (pair ())) ~vdd:0.4 ~cycles:10. () with
+  | Some r ->
+    Alcotest.(check bool) "GHz-range oscillation" true
+      (r.Metrics.frequency > 1e9 && r.Metrics.frequency < 1e12);
+    Alcotest.(check bool) "powers ordered" true
+      (r.Metrics.p_total >= r.Metrics.p_dynamic)
+  | None -> Alcotest.fail "quantum-derived ring failed to oscillate"
+
+let test_pipeline_width_trend () =
+  (* The narrower device's table must leak less at the ambipolar minimum:
+     the microscopic origin of Table 2's leakage column. *)
+  let t12 = Lazy.force table in
+  let t9 = Iv_table.generate ~grid (tiny_device ~gnr_index:9 ()) in
+  let ioff t = Iv_table.current_at t ~vg:0.2 ~vd:0.4 in
+  Alcotest.(check bool) "narrower leaks less" true (ioff t9 < ioff t12);
+  let ion t = Iv_table.current_at t ~vg:0.8 ~vd:0.4 in
+  Alcotest.(check bool) "narrower drives less" true (ion t9 < ion t12)
+
+let suite =
+  [
+    Alcotest.test_case "pipeline: inverter metrics" `Quick test_pipeline_inverter;
+    Alcotest.test_case "pipeline: VTC rails" `Quick test_pipeline_vtc_rail_to_rail;
+    Alcotest.test_case "pipeline: ring oscillator" `Quick test_pipeline_ring;
+    Alcotest.test_case "pipeline: width trend" `Quick test_pipeline_width_trend;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "gnrfet"
+    [
+      ("numerics:basic", Test_numerics_basic.suite);
+      ("numerics:linalg", Test_numerics_linalg.suite);
+      ("numerics:interp+contour", Test_numerics_interp.suite);
+      ("physics+gnr", Test_gnr.suite);
+      ("negf", Test_negf.suite);
+      ("poisson", Test_poisson.suite);
+      ("device", Test_device.suite);
+      ("circuit", Test_circuit.suite);
+      ("cmos", Test_cmos.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the NEGF solvers: self-energies, scalar RGF, block RGF, and
+   their cross-validation (the key mode-space correctness check). *)
+
+open Support
+
+let flat_chain ?(n = 30) ?(t1 = 1.6) ?(t2 = 1.3) ?(onsite = 0.) () =
+  let chain_onsite = Array.make n onsite in
+  let hopping = Array.init (n - 1) (fun i -> if i mod 2 = 0 then t1 else t2) in
+  let sigma e =
+    let gs = Self_energy.dimer_surface ~t1 ~t2 ~onsite e in
+    Complex.mul { Complex.re = t2 *. t2; im = 0. } gs
+  in
+  fun e ->
+    { Rgf.onsite = chain_onsite; hopping; sigma_l = sigma e; sigma_r = sigma e }
+
+let test_dimer_surface_retarded () =
+  (* The retarded surface GF must have non-positive imaginary part
+     (non-negative DOS) at every energy. *)
+  List.iter
+    (fun e ->
+      let g = Self_energy.dimer_surface ~t1:1.6 ~t2:1.3 ~onsite:0. e in
+      Alcotest.(check bool)
+        (Printf.sprintf "Im g <= 0 at %g" e)
+        true
+        (g.Complex.im <= 1e-9))
+    [ -3.5; -2.; -1.; -0.31; 0.; 0.2; 0.31; 1.; 2.; 3.5 ]
+
+let test_dimer_surface_dos_support () =
+  (* DOS is zero in the gap (|E| < t1 - t2 = 0.3) and positive in the band. *)
+  let dos e =
+    -.(Self_energy.dimer_surface ~eta:1e-9 ~t1:1.6 ~t2:1.3 ~onsite:0. e).Complex.im
+  in
+  Alcotest.(check bool) "gap" true (dos 0.1 < 1e-6);
+  Alcotest.(check bool) "band" true (dos 1. > 0.01)
+
+let test_flat_transmission_staircase () =
+  let chain = flat_chain () in
+  (* Inside the band of an ideal chain T = 1; inside the gap T ~ 0. *)
+  List.iter
+    (fun e -> approx ~eps:1e-3 (Printf.sprintf "T=1 at %g" e) 1. (Rgf.transmission (chain e) e))
+    [ 0.5; 1.; 2.; -0.8; -1.5 ];
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "T~0 at %g" e)
+        true
+        (Rgf.transmission (chain e) e < 1e-3))
+    [ 0.; 0.1; -0.2 ]
+
+let test_spectra_consistency () =
+  (* The one-pass transmission and the spectral-function path must agree:
+     T = GammaR * a2 evaluated at site 0 equals GammaL * a1 at site n-1. *)
+  let chain = flat_chain ~n:16 () in
+  List.iter
+    (fun e ->
+      let c = chain e in
+      let s = Rgf.spectra c e in
+      let t_direct = Rgf.transmission c e in
+      approx ~eps:1e-9 "t_coh consistent" t_direct s.Rgf.t_coh;
+      let gamma_l = Rgf.gamma_of_sigma c.Rgf.sigma_l in
+      approx ~eps:1e-9 "T = GammaL * a1(n-1)" s.Rgf.t_coh
+        (gamma_l *. s.Rgf.a1.(15)))
+    [ 0.5; 0.9; 1.7 ]
+
+let test_spectra_nonnegative () =
+  let chain = flat_chain ~n:12 () in
+  List.iter
+    (fun e ->
+      let s = Rgf.spectra (chain e) e in
+      Array.iter (fun a -> Alcotest.(check bool) "a1 >= 0" true (a >= 0.)) s.Rgf.a1;
+      Array.iter (fun a -> Alcotest.(check bool) "a2 >= 0" true (a >= 0.)) s.Rgf.a2)
+    [ -1.; 0.; 0.6; 2. ]
+
+let test_barrier_suppresses_transmission () =
+  (* Probe at E = 0.5 (inside the lead band).  A barrier of height u puts
+     the probe energy inside the local gap [u - 0.3, u + 0.3]; suppression
+     is strongest when the energy sits at the local mid-gap (u = 0.5). *)
+  let n = 40 in
+  let t1 = 1.6 and t2 = 1.3 in
+  let hopping = Array.init (n - 1) (fun i -> if i mod 2 = 0 then t1 else t2) in
+  let sigma e =
+    Complex.mul
+      { Complex.re = t2 *. t2; im = 0. }
+      (Self_energy.dimer_surface ~t1 ~t2 ~onsite:0. e)
+  in
+  let with_barrier height =
+    let onsite =
+      Array.init n (fun i -> if i >= 10 && i < 30 then height else 0.)
+    in
+    let e = 0.5 in
+    Rgf.transmission { Rgf.onsite; hopping; sigma_l = sigma e; sigma_r = sigma e } e
+  in
+  let t0 = with_barrier 0. and t_edge = with_barrier 0.35 and t_mid = with_barrier 0.5 in
+  Alcotest.(check bool) "monotone suppression" true (t0 > t_edge && t_edge > t_mid);
+  Alcotest.(check bool) "deep barrier nearly opaque" true (t_mid < 0.06)
+
+let test_block_rgf_staircase () =
+  (* Ideal N=12 A-GNR: T(E) counts open subbands: 0 in the gap, 1 above
+     the first subband edge. *)
+  let gap = Bands.gap_of_index 12 in
+  let t_gap = Rgf_block.ideal_gnr_transmission ~n_cells:6 12 (gap /. 4.) in
+  Alcotest.(check bool) "gap opaque" true (t_gap < 1e-2);
+  let t_band = Rgf_block.ideal_gnr_transmission ~n_cells:6 12 ((gap /. 2.) +. 0.15) in
+  approx ~eps:2e-2 "one mode open" 1. t_band
+
+let test_modespace_matches_block () =
+  (* The central validation: mode-space transmission equals the atomistic
+     real-space result for the ideal ribbon across the spectrum. *)
+  let n = 12 in
+  let ms = Modespace.reduce ~n_modes:3 n in
+  let sites = 16 in
+  let chain_of (m : Modespace.mode) e =
+    let onsite = Array.make sites 0. in
+    let hopping =
+      Array.init (sites - 1) (fun i ->
+          if i mod 2 = 0 then m.Modespace.t1 else m.Modespace.t2)
+    in
+    let gs =
+      Self_energy.dimer_surface ~t1:m.Modespace.t1 ~t2:m.Modespace.t2 ~onsite:0. e
+    in
+    let sigma = Complex.mul { Complex.re = m.Modespace.t2 ** 2.; im = 0. } gs in
+    { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma }
+  in
+  List.iter
+    (fun e ->
+      let t_ms =
+        Array.fold_left
+          (fun acc m -> acc +. Rgf.transmission (chain_of m e) e)
+          0. ms.Modespace.modes
+      in
+      let t_block = Rgf_block.ideal_gnr_transmission ~n_cells:8 n e in
+      approx ~eps:3e-3 (Printf.sprintf "T at %g" e) t_block t_ms)
+    [ 0.1; 0.35; 0.5; 0.75; 1.0; 1.5 ]
+
+let bias = { Observables.mu_s = 0.; mu_d = -0.3; kt = 0.0259 }
+
+let test_current_zero_at_equilibrium () =
+  let chain = flat_chain ~n:20 () in
+  let egrid = Observables.energy_grid ~lo:(-0.6) ~hi:0.6 ~de:0.004 in
+  let eq = { Observables.mu_s = 0.; mu_d = 0.; kt = 0.0259 } in
+  let i = Observables.current ~bias:eq ~egrid chain in
+  Alcotest.(check bool) "equilibrium current ~ 0" true (Float.abs i < 1e-15)
+
+let test_current_sign_and_magnitude () =
+  (* One fully open spin-degenerate mode over a 0.3 V window carries at
+     most G0 * 0.3; a mid-band chain gets close. *)
+  let t1 = 1.6 and t2 = 1.55 in
+  (* small gap 0.05: almost metallic *)
+  let n = 20 in
+  let onsite = Array.make n (-0.15) in
+  (* center the band on the bias window *)
+  let hopping = Array.init (n - 1) (fun i -> if i mod 2 = 0 then t1 else t2) in
+  let sigma e =
+    Complex.mul
+      { Complex.re = t2 *. t2; im = 0. }
+      (Self_energy.dimer_surface ~t1 ~t2 ~onsite:(-0.15) e)
+  in
+  let egrid = Observables.energy_grid ~lo:(-0.7) ~hi:0.4 ~de:0.002 in
+  let chain e = { Rgf.onsite; hopping; sigma_l = sigma e; sigma_r = sigma e } in
+  let i = Observables.current ~bias ~egrid chain in
+  Alcotest.(check bool) "positive" true (i > 0.);
+  let i_max = Const.g0 *. 0.3 in
+  Alcotest.(check bool) "bounded by ballistic limit" true (i < i_max *. 1.001);
+  Alcotest.(check bool) "mostly open" true (i > 0.55 *. i_max)
+
+let test_charge_neutrality_at_half_filling () =
+  (* Symmetric chain with mu at mid-gap: electron and hole counts cancel. *)
+  let chain = flat_chain ~n:20 () in
+  let egrid = Observables.energy_grid ~lo:(-3.4) ~hi:3.4 ~de:0.005 in
+  let eq = { Observables.mu_s = 0.; mu_d = 0.; kt = 0.0259 } in
+  let midgap = (chain 0.).Rgf.onsite in
+  let q = Observables.site_charge ~bias:eq ~egrid ~midgap chain in
+  Array.iteri
+    (fun i qi ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d neutral" i)
+        true
+        (Float.abs qi < 0.02 *. Const.q))
+    q
+
+let test_charge_sign_follows_mu () =
+  let chain = flat_chain ~n:20 () in
+  let egrid = Observables.energy_grid ~lo:(-3.6) ~hi:3.6 ~de:0.005 in
+  let midgap = (chain 0.).Rgf.onsite in
+  let electron_bias = { Observables.mu_s = 0.8; mu_d = 0.8; kt = 0.0259 } in
+  let q_e = Observables.site_charge ~bias:electron_bias ~egrid ~midgap chain in
+  Alcotest.(check bool) "electrons negative" true (Vec.sum q_e < -0.1 *. Const.q);
+  let hole_bias = { Observables.mu_s = -0.8; mu_d = -0.8; kt = 0.0259 } in
+  let q_h = Observables.site_charge ~bias:hole_bias ~egrid ~midgap chain in
+  Alcotest.(check bool) "holes positive" true (Vec.sum q_h > 0.1 *. Const.q)
+
+let test_sancho_rubio_agrees_with_dimer () =
+  (* A 1x1-block chain with alternating couplings folded into a 2x2 cell
+     must give the same surface DOS as the scalar decimation. *)
+  let t1 = 1.6 and t2 = 1.3 in
+  let h00 =
+    Cmatrix.init 2 2 (fun i j ->
+        if (i = 0 && j = 1) || (i = 1 && j = 0) then { Complex.re = t1; im = 0. }
+        else Complex.zero)
+  in
+  let h01 =
+    Cmatrix.init 2 2 (fun i j ->
+        if i = 1 && j = 0 then { Complex.re = t2; im = 0. } else Complex.zero)
+  in
+  List.iter
+    (fun e ->
+      let gs = Self_energy.sancho_rubio ~eta:1e-7 ~h00 ~h01 e in
+      (* The exposed surface site of this right-lead orientation is the
+         cell's A site (index 0), whose inward bond is t1: exactly the
+         configuration of the scalar decimation. *)
+      let g_block = Cmatrix.get gs 0 0 in
+      let g_scalar = Self_energy.dimer_surface ~eta:1e-7 ~t1 ~t2 ~onsite:0. e in
+      approx ~eps:1e-5 (Printf.sprintf "Re g at %g" e) g_scalar.Complex.re g_block.Complex.re;
+      approx ~eps:1e-5 (Printf.sprintf "Im g at %g" e) g_scalar.Complex.im g_block.Complex.im)
+    [ 0.8; 1.5; 2.5 ]
+
+let test_energy_grid () =
+  let g = Observables.energy_grid ~lo:(-1.) ~hi:1. ~de:0.1 in
+  Alcotest.(check bool) "at least 21 points" true (Array.length g >= 21);
+  approx "start" (-1.) g.(0);
+  approx "end" 1. g.(Array.length g - 1);
+  check_raises_invalid "empty range" (fun () ->
+      ignore (Observables.energy_grid ~lo:1. ~hi:0. ~de:0.1))
+
+let suite =
+  [
+    Alcotest.test_case "dimer surface retarded" `Quick test_dimer_surface_retarded;
+    Alcotest.test_case "dimer surface DOS support" `Quick test_dimer_surface_dos_support;
+    Alcotest.test_case "flat chain staircase" `Quick test_flat_transmission_staircase;
+    Alcotest.test_case "spectra consistency" `Quick test_spectra_consistency;
+    Alcotest.test_case "spectra non-negative" `Quick test_spectra_nonnegative;
+    Alcotest.test_case "barrier suppression" `Quick test_barrier_suppresses_transmission;
+    Alcotest.test_case "block RGF staircase" `Quick test_block_rgf_staircase;
+    Alcotest.test_case "mode-space vs block RGF" `Quick test_modespace_matches_block;
+    Alcotest.test_case "equilibrium current" `Quick test_current_zero_at_equilibrium;
+    Alcotest.test_case "current sign and bound" `Quick test_current_sign_and_magnitude;
+    Alcotest.test_case "half-filling neutrality" `Quick test_charge_neutrality_at_half_filling;
+    Alcotest.test_case "charge sign follows mu" `Quick test_charge_sign_follows_mu;
+    Alcotest.test_case "sancho-rubio vs dimer" `Quick test_sancho_rubio_agrees_with_dimer;
+    Alcotest.test_case "energy grid" `Quick test_energy_grid;
+  ]
+
+let ideal_block_device n e =
+  (* Rebuild the lead-connected ribbon device used by
+     ideal_gnr_transmission, for the spectral-function tests. *)
+  let tb = Tight_binding.make n in
+  let h00 = Cmatrix.of_real tb.Tight_binding.h00 in
+  let h01 = Cmatrix.of_real tb.Tight_binding.h01 in
+  let h10 = Cmatrix.adjoint h01 in
+  let gs_l = Self_energy.sancho_rubio ~h00 ~h01:h10 e in
+  let sigma_l = Cmatrix.mul h10 (Cmatrix.mul gs_l h01) in
+  let gs_r = Self_energy.sancho_rubio ~h00 ~h01 e in
+  let sigma_r = Cmatrix.mul h01 (Cmatrix.mul gs_r h10) in
+  {
+    Rgf_block.blocks = Array.make 5 h00;
+    couplings = Array.make 4 h01;
+    sigma_l;
+    sigma_r;
+  }
+
+let test_block_spectra_transmission_consistent () =
+  List.iter
+    (fun e ->
+      let dev = ideal_block_device 7 e in
+      let s = Rgf_block.spectra dev e in
+      let t = Rgf_block.transmission dev e in
+      approx ~eps:1e-8 (Printf.sprintf "T consistent at %g" e) t s.Rgf_block.t_coh;
+      Array.iter
+        (fun per_block ->
+          Array.iter
+            (fun v -> Alcotest.(check bool) "a1 >= 0" true (v >= -1e-10))
+            per_block)
+        s.Rgf_block.a1)
+    [ 0.8; 1.2; 2.0 ]
+
+let test_block_equilibrium_half_filling () =
+  (* Integrating the occupied atomistic spectral weight over the full band
+     at mu = mid-gap must give half an electron per atom per spin: the
+     real-space counterpart of the mode-space neutrality test. *)
+  let n = 5 in
+  let kt = 0.0259 in
+  (* eta must stay negligible against Gamma(E) (a finite eta is a third,
+     absorbing contact that steals weight from a1 + a2); the fine grid
+     handles the van Hove edges. *)
+  let eta = 1e-6 in
+  let egrid = Observables.energy_grid ~lo:(-8.8) ~hi:8.8 ~de:2e-3 in
+  let n_atoms = Lattice.atoms_per_cell n in
+  let occupancy = Array.make n_atoms 0. in
+  let block = 2 (* interior cell *) in
+  let prev = ref None in
+  Array.iter
+    (fun e ->
+      let dev = ideal_block_device n e in
+      let s = Rgf_block.spectra ~eta dev e in
+      let f = Fermi.occupation ~mu:0. ~kt e in
+      let sample =
+        Array.init n_atoms (fun i ->
+            (s.Rgf_block.a1.(block).(i) +. s.Rgf_block.a2.(block).(i)) *. f)
+      in
+      (match !prev with
+      | Some (e0, s0) ->
+        let h = 0.5 *. (e -. e0) in
+        Array.iteri (fun i v -> occupancy.(i) <- occupancy.(i) +. (h *. (v +. s0.(i)))) sample
+      | None -> ());
+      prev := Some (e, sample))
+    egrid;
+  Array.iteri
+    (fun i occ ->
+      approx ~eps:0.05
+        (Printf.sprintf "atom %d half-filled" i)
+        0.5
+        (occ /. (2. *. Float.pi)))
+    occupancy
+
+let block_suite =
+  [
+    Alcotest.test_case "block spectra consistency" `Quick
+      test_block_spectra_transmission_consistent;
+    Alcotest.test_case "block equilibrium half-filling" `Quick
+      test_block_equilibrium_half_filling;
+  ]
+
+let suite = suite @ block_suite

@@ -1,0 +1,215 @@
+(* Unit and property tests for Vec, Stats, Rng, Integrate, Roots, Lstsq. *)
+
+open Support
+
+let test_linspace () =
+  let xs = Vec.linspace 0. 1. 5 in
+  Alcotest.(check int) "length" 5 (Array.length xs);
+  approx "first" 0. xs.(0);
+  approx "last" 1. xs.(4);
+  approx "step" 0.25 (xs.(1) -. xs.(0));
+  let single = Vec.linspace 3. 9. 1 in
+  approx "n=1" 3. single.(0);
+  check_raises_invalid "n=0" (fun () -> Vec.linspace 0. 1. 0)
+
+let test_dot_axpy () =
+  let x = [| 1.; 2.; 3. |] and y = [| 4.; 5.; 6. |] in
+  approx "dot" 32. (Vec.dot x y);
+  let z = Array.copy y in
+  Vec.axpy 2. x z;
+  approx "axpy" (4. +. 2.) z.(0);
+  approx "axpy last" (6. +. 6.) z.(2);
+  check_raises_invalid "mismatch" (fun () -> Vec.dot x [| 1. |])
+
+let test_norms_extrema () =
+  let x = [| 3.; -4.; 0. |] in
+  approx "norm2" 5. (Vec.norm2 x);
+  approx "norm_inf" 4. (Vec.norm_inf x);
+  Alcotest.(check int) "argmin" 1 (Vec.argmin x);
+  Alcotest.(check int) "argmax" 0 (Vec.argmax x);
+  approx "minimum" (-4.) (Vec.minimum x);
+  approx "maximum" 3. (Vec.maximum x);
+  approx "mean" (-1. /. 3.) (Vec.mean x);
+  approx "max_abs_diff" 4. (Vec.max_abs_diff x [| 3.; 0.; 0. |])
+
+let prop_dot_symmetry =
+  qtest "dot symmetry" QCheck.(pair (list_of_size Gen.(1 -- 20) float) unit)
+    (fun (l, ()) ->
+      let x = Array.of_list (List.map (fun v -> Float.rem v 1e6) l) in
+      let y = Array.map (fun v -> v +. 1.) x in
+      Float.abs (Vec.dot x y -. Vec.dot y x) <= 1e-6 *. (1. +. Float.abs (Vec.dot x y)))
+
+let prop_norm_triangle =
+  qtest "norm2 triangle inequality"
+    QCheck.(list_of_size Gen.(1 -- 16) (float_bound_inclusive 100.))
+    (fun l ->
+      let x = Array.of_list l in
+      let y = Array.map (fun v -> 1. -. v) x in
+      Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  approx "mean" 5. s.Stats.mean;
+  approx ~eps:1e-6 "std" 2.13809 s.Stats.std;
+  approx "median" 4.5 s.Stats.median;
+  approx "min" 2. s.Stats.min;
+  approx "max" 9. s.Stats.max;
+  Alcotest.(check int) "n" 8 s.Stats.n
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  approx "p0" 1. (Stats.percentile xs 0.);
+  approx "p100" 4. (Stats.percentile xs 100.);
+  approx "p50" 2.5 (Stats.percentile xs 50.);
+  check_raises_invalid "p>100" (fun () -> Stats.percentile xs 101.)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "bins" 4 (Array.length h.Stats.counts);
+  Alcotest.(check int) "total count" 5 (Array.fold_left ( + ) 0 h.Stats.counts);
+  let centers = Stats.bin_centers h in
+  approx "first center" 0.5 centers.(0);
+  (* degenerate sample *)
+  let h1 = Stats.histogram ~bins:3 [| 2.; 2. |] in
+  Alcotest.(check int) "degenerate total" 2 (Array.fold_left ( + ) 0 h1.Stats.counts)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 50 do
+    approx "same stream" (Rng.float a) (Rng.float b)
+  done;
+  let c = Rng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.float a <> Rng.float c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_ranges () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let u = Rng.float r in
+    Alcotest.(check bool) "[0,1)" true (u >= 0. && u < 1.);
+    let k = Rng.int r 7 in
+    Alcotest.(check bool) "int range" true (k >= 0 && k < 7)
+  done;
+  check_raises_invalid "int 0" (fun () -> Rng.int r 0)
+
+let test_rng_normal_moments () =
+  let r = Rng.create 5 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.normal r) in
+  let s = Stats.summarize xs in
+  approx ~eps:0.05 "normal mean" 0. s.Stats.mean;
+  approx ~eps:0.05 "normal std" 1. s.Stats.std
+
+let test_rng_split () =
+  let r = Rng.create 13 in
+  let r2 = Rng.split r in
+  let a = Rng.float r and b = Rng.float r2 in
+  Alcotest.(check bool) "split stream differs" true (a <> b)
+
+let test_integrate_polynomials () =
+  let f x = (3. *. x *. x) +. (2. *. x) +. 1. in
+  (* Exact integral on [0,2] = 8 + 4 + 2 = 14. *)
+  approx ~eps:1e-10 "simpson cubic-exact" 14. (Integrate.simpson ~f ~a:0. ~b:2. ~n:4);
+  approx ~eps:1e-3 "trapezoid" 14. (Integrate.trapezoid ~f ~a:0. ~b:2. ~n:200);
+  approx ~eps:1e-8 "adaptive" 14. (Integrate.adaptive_simpson ~f ~a:0. ~b:2. ());
+  approx ~eps:1e-8 "adaptive sin" 2.
+    (Integrate.adaptive_simpson ~f:sin ~a:0. ~b:Float.pi ())
+
+let test_integrate_samples () =
+  let xs = [| 0.; 1.; 3. |] and ys = [| 0.; 2.; 6. |] in
+  (* Piecewise linear: 1 + 8 = 9. *)
+  approx "samples" 9. (Integrate.trapezoid_samples ~xs ~ys);
+  check_raises_invalid "decreasing axis" (fun () ->
+      Integrate.trapezoid_samples ~xs:[| 1.; 0. |] ~ys:[| 0.; 0. |])
+
+let test_roots () =
+  let f x = cos x in
+  let r1 = Roots.bisection ~f ~a:1. ~b:2. () in
+  approx ~eps:1e-9 "bisection pi/2" (Float.pi /. 2.) r1;
+  let r2 = Roots.brent ~f ~a:1. ~b:2. () in
+  approx ~eps:1e-9 "brent pi/2" (Float.pi /. 2.) r2;
+  check_raises_invalid "no bracket" (fun () -> Roots.brent ~f ~a:0.1 ~b:0.2 ());
+  match Roots.bracket_scan ~f ~a:0. ~b:3. ~n:30 with
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "bracket contains root" true
+      (lo <= Float.pi /. 2. && Float.pi /. 2. <= hi)
+  | None -> Alcotest.fail "bracket_scan missed the root"
+
+let prop_brent_polynomial =
+  qtest "brent finds polynomial roots" QCheck.(float_range 0.3 3.)
+    (fun root ->
+      let f x = (x -. root) *. ((x *. x) +. 1.) in
+      let found = Roots.brent ~f ~a:0. ~b:4. () in
+      Float.abs (found -. root) < 1e-8)
+
+let test_lstsq_line () =
+  let xs = [| 0.; 1.; 2.; 3. |] in
+  let ys = Array.map (fun x -> (2.5 *. x) -. 1.25 ) xs in
+  let intercept, slope = Lstsq.line_fit ~xs ~ys in
+  approx ~eps:1e-8 "slope" 2.5 slope;
+  approx ~eps:1e-8 "intercept" (-1.25) intercept
+
+let test_lstsq_polyfit () =
+  let xs = Vec.linspace (-1.) 1. 9 in
+  let ys = Array.map (fun x -> 1. +. (2. *. x) +. (3. *. x *. x)) xs in
+  let c = Lstsq.polyfit ~degree:2 ~xs ~ys in
+  approx ~eps:1e-8 "c0" 1. c.(0);
+  approx ~eps:1e-8 "c1" 2. c.(1);
+  approx ~eps:1e-8 "c2" 3. c.(2);
+  approx ~eps:1e-8 "polyval" 6. (Lstsq.polyval c 1.)
+
+let test_mixing_linear () =
+  let m = Mixing.linear ~alpha:0.5 in
+  let x = [| 0. |] and gx = [| 1. |] in
+  let x' = Mixing.step m ~x ~gx in
+  approx "half step" 0.5 x'.(0);
+  approx "residual" 1. (Mixing.residual ~x ~gx)
+
+let test_mixing_anderson_converges () =
+  (* Fixed point of g(x) = 0.5 x + c is 2c; Anderson should hit it fast. *)
+  let c = [| 1.; -2. |] in
+  let g x = Array.mapi (fun i v -> (0.5 *. v) +. c.(i)) x in
+  let m = Mixing.anderson ~history:3 ~alpha:0.5 () in
+  let x = ref [| 0.; 0. |] in
+  for _ = 1 to 20 do
+    x := Mixing.step m ~x:!x ~gx:(g !x)
+  done;
+  approx ~eps:1e-6 "fp 0" 2. !x.(0);
+  approx ~eps:1e-6 "fp 1" (-4.) !x.(1)
+
+let test_parallel_map () =
+  let xs = Array.init 37 (fun i -> i) in
+  let expected = Array.map (fun i -> i * i) xs in
+  let got = Parallel.map ~domains:3 (fun i -> i * i) xs in
+  Alcotest.(check (array int)) "order preserved" expected got;
+  match Parallel.map ~domains:2 (fun i -> if i = 5 then failwith "boom" else i) xs with
+  | exception Failure msg -> Alcotest.(check string) "exn propagates" "boom" msg
+  | _ -> Alcotest.fail "expected failure to propagate"
+
+let suite =
+  [
+    Alcotest.test_case "linspace" `Quick test_linspace;
+    Alcotest.test_case "dot/axpy" `Quick test_dot_axpy;
+    Alcotest.test_case "norms and extrema" `Quick test_norms_extrema;
+    prop_dot_symmetry;
+    prop_norm_triangle;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;
+    Alcotest.test_case "rng split" `Quick test_rng_split;
+    Alcotest.test_case "integrate polynomials" `Quick test_integrate_polynomials;
+    Alcotest.test_case "integrate samples" `Quick test_integrate_samples;
+    Alcotest.test_case "roots" `Quick test_roots;
+    prop_brent_polynomial;
+    Alcotest.test_case "least-squares line" `Quick test_lstsq_line;
+    Alcotest.test_case "polyfit" `Quick test_lstsq_polyfit;
+    Alcotest.test_case "mixing linear" `Quick test_mixing_linear;
+    Alcotest.test_case "mixing anderson" `Quick test_mixing_anderson_converges;
+    Alcotest.test_case "parallel map" `Quick test_parallel_map;
+  ]
