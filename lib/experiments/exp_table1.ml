@@ -1,7 +1,7 @@
 type result = {
   gnrfet : Technology.row list;
   cmos : Technology.row list;
-  edp_improvement_range : float * float;
+  edp_improvement_range : (float * float) option;
 }
 
 let run ?surface () =
@@ -15,7 +15,7 @@ let run ?surface () =
   in
   let edp_improvement_range =
     match reference with
-    | None -> (nan, nan)
+    | None -> None
     | Some b ->
       (* The paper compares the *optimum* EDP of each CMOS node (its best
          supply) to GNRFET point B, quoting 40-168X across nodes. *)
@@ -28,9 +28,16 @@ let run ?surface () =
         List.map
           (fun node -> by_node ("CMOS " ^ node) /. b.Technology.edp)
           [ "22nm"; "32nm"; "45nm" ]
+        (* Missing CMOS rows or a degenerate reference EDP yield inf/NaN
+           ratios; drop them so they can never reach the printed range. *)
+        |> List.filter Float.is_finite
       in
-      ( List.fold_left Float.min infinity ratios,
-        List.fold_left Float.max neg_infinity ratios )
+      (match ratios with
+      | [] -> None
+      | _ ->
+        Some
+          ( List.fold_left Float.min infinity ratios,
+            List.fold_left Float.max neg_infinity ratios ))
   in
   { gnrfet; cmos; edp_improvement_range }
 
@@ -45,9 +52,13 @@ let print ppf r =
   Report.heading ppf "Table 1: GNRFET (A/B/C) vs scaled CMOS (22/32/45nm)";
   List.iter (print_row ppf) r.gnrfet;
   List.iter (print_row ppf) r.cmos;
-  let lo, hi = r.edp_improvement_range in
-  Format.fprintf ppf "CMOS-optimum / GNRFET-B EDP ratio: %.0fX - %.0fX (paper: 40-168X)@."
-    lo hi
+  match r.edp_improvement_range with
+  | None ->
+    Format.fprintf ppf
+      "CMOS-optimum / GNRFET-B EDP ratio: unavailable (no finite reference ratios)@."
+  | Some (lo, hi) ->
+    Format.fprintf ppf "CMOS-optimum / GNRFET-B EDP ratio: %.0fX - %.0fX (paper: 40-168X)@."
+      lo hi
 
 let bench_kernel () =
   let node = Node.n22 in

@@ -5,9 +5,10 @@
 type result = {
   gnrfet : Technology.row list;
   cmos : Technology.row list;
-  edp_improvement_range : float * float;
-      (** min and max CMOS-optimum-to-GNRFET-B EDP ratio (paper:
-          40–168X) *)
+  edp_improvement_range : (float * float) option;
+      (** min and max CMOS-optimum-to-GNRFET-B EDP ratio (paper: 40–168X);
+          [None] when the reference operating point is missing or no ratio
+          is finite, so NaN never flows into downstream EDP comparisons *)
 }
 
 val run : ?surface:Explore.surface -> unit -> result

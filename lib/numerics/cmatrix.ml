@@ -101,7 +101,7 @@ let gauss_jordan m bre bim bcols =
         pivot := i
       end
     done;
-    if !best < 1e-280 then failwith "Cmatrix: singular matrix";
+    if !best < Tol.pivot_norm2 then failwith "Cmatrix: singular matrix";
     if !pivot <> k then begin
       swap_rows are k !pivot n;
       swap_rows aim k !pivot n;

@@ -16,7 +16,7 @@ let symmetric a =
   in
   let rotate p q =
     let apq = Matrix.get w p q in
-    if Float.abs apq > 1e-300 then begin
+    if Float.abs apq > Tol.negligible then begin
       let app = Matrix.get w p p and aqq = Matrix.get w q q in
       let theta = (aqq -. app) /. (2. *. apq) in
       let t =

@@ -87,7 +87,7 @@ let lu_factor m =
         pivot := i
       end
     done;
-    if !best < 1e-300 then failwith "Matrix.lu_factor: singular";
+    if !best < Tol.pivot then failwith "Matrix.lu_factor: singular";
     if !pivot <> k then begin
       let p = !pivot in
       for j = 0 to n - 1 do

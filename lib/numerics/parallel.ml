@@ -24,6 +24,8 @@ let map ?domains f inputs =
       in
       go ()
     in
+    (* Workers claim disjoint indices of [results] via the [next] counter,
+       so the shared-array writes never overlap.  gnrlint: allow-shared *)
     let handles = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
     work ();
     Array.iter Domain.join handles;

@@ -41,7 +41,7 @@ let normal t =
     (* Box-Muller on two uniforms, caching the second deviate. *)
     let rec nonzero () =
       let u = float t in
-      if u > 1e-300 then u else nonzero ()
+      if u > Tol.underflow_guard then u else nonzero ()
     in
     let u1 = nonzero () and u2 = float t in
     let r = sqrt (-2. *. log u1) in

@@ -72,10 +72,16 @@ let cg ?max_iter ?(tol = 1e-10) ?x0 m b =
   let z = precond r in
   let p = Array.copy z in
   let rz = ref (Vec.dot r z) in
-  let bnorm = Float.max (Vec.norm2 b) 1e-300 in
+  let bnorm = Float.max (Vec.norm2 b) Tol.underflow_guard in
   let rec loop it =
     if Vec.norm2 r /. bnorm <= tol then (x, it)
-    else if it >= max_iter then failwith "Sparse.cg: did not converge"
+    else if it >= max_iter then
+      failwith
+        (Printf.sprintf
+           "Sparse.cg: did not converge after %d iterations (relative residual %.3e, tol %.3e)"
+           it
+           (Vec.norm2 r /. bnorm)
+           tol)
     else begin
       let ap = mul_vec m p in
       let alpha = !rz /. Vec.dot p ap in
@@ -98,11 +104,15 @@ let sor ?(omega = 1.7) ?max_iter ?(tol = 1e-10) ?x0 m b =
   let max_iter = match max_iter with Some v -> v | None -> 40 * n in
   let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0. in
   let d = diagonal m in
-  let bnorm = Float.max (Vec.norm2 b) 1e-300 in
+  let bnorm = Float.max (Vec.norm2 b) Tol.underflow_guard in
   let residual_norm () = Vec.norm2 (Vec.sub b (mul_vec m x)) /. bnorm in
   let rec loop it =
     if residual_norm () <= tol then (x, it)
-    else if it >= max_iter then failwith "Sparse.sor: did not converge"
+    else if it >= max_iter then
+      failwith
+        (Printf.sprintf
+           "Sparse.sor: did not converge after %d iterations (relative residual %.3e, tol %.3e, omega %g)"
+           it (residual_norm ()) tol omega)
     else begin
       for i = 0 to n - 1 do
         let sigma = ref 0. in

@@ -1,0 +1,10 @@
+(* Central numeric tolerances for the solver stack.  Every denormal-range
+   floor used by a factorisation, iteration, or underflow guard lives here
+   so the thresholds stay consistent across solvers and are greppable in
+   one place.  gnrlint's magic-tol rule rejects inline literals in this
+   range anywhere else in the tree. *)
+
+let pivot = 1e-300
+let pivot_norm2 = 1e-280
+let underflow_guard = 1e-300
+let negligible = 1e-300

@@ -1,0 +1,24 @@
+(** Central numeric tolerances for the solver stack.
+
+    Ad-hoc denormal-range literals ([1e-300] and friends) scattered through
+    factorisations are a classic source of silent numerical drift: two
+    solvers disagree on what "singular" means and an SCF loop oscillates.
+    All such floors live here, and the [magic-tol] gnrlint rule (see
+    docs/LINT.md) rejects inline literals [<= 1e-250] everywhere else. *)
+
+val pivot : float
+(** Absolute pivot magnitude below which LU/banded/tridiagonal
+    factorisations declare the matrix singular. *)
+
+val pivot_norm2 : float
+(** Squared-magnitude pivot floor for complex Gauss–Jordan elimination
+    (compared against [re^2 + im^2], hence the looser exponent). *)
+
+val underflow_guard : float
+(** Positive floor applied before dividing by, or taking the log of, a
+    quantity that may underflow to zero (residual norms, uniform
+    deviates). *)
+
+val negligible : float
+(** Magnitude below which an off-diagonal entry is treated as already
+    zero (e.g. skipping Jacobi rotations). *)

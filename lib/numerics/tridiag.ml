@@ -9,12 +9,12 @@ let solve ~lower ~diag ~upper ~rhs =
   if n = 0 then [||]
   else begin
     let c' = Array.make n 0. and d' = Array.make n 0. in
-    if Float.abs diag.(0) < 1e-300 then failwith "Tridiag.solve: zero pivot";
+    if Float.abs diag.(0) < Tol.pivot then failwith "Tridiag.solve: zero pivot";
     c'.(0) <- upper.(0) /. diag.(0);
     d'.(0) <- rhs.(0) /. diag.(0);
     for i = 1 to n - 1 do
       let m = diag.(i) -. (lower.(i) *. c'.(i - 1)) in
-      if Float.abs m < 1e-300 then failwith "Tridiag.solve: zero pivot";
+      if Float.abs m < Tol.pivot then failwith "Tridiag.solve: zero pivot";
       c'.(i) <- upper.(i) /. m;
       d'.(i) <- (rhs.(i) -. (lower.(i) *. d'.(i - 1))) /. m
     done;
@@ -34,12 +34,12 @@ let solve_complex ~lower ~diag ~upper ~rhs =
   else begin
     let open Complex in
     let c' = Array.make n zero and d' = Array.make n zero in
-    if norm diag.(0) < 1e-300 then failwith "Tridiag.solve_complex: zero pivot";
+    if norm diag.(0) < Tol.pivot then failwith "Tridiag.solve_complex: zero pivot";
     c'.(0) <- div upper.(0) diag.(0);
     d'.(0) <- div rhs.(0) diag.(0);
     for i = 1 to n - 1 do
       let m = sub diag.(i) (mul lower.(i) c'.(i - 1)) in
-      if norm m < 1e-300 then failwith "Tridiag.solve_complex: zero pivot";
+      if norm m < Tol.pivot then failwith "Tridiag.solve_complex: zero pivot";
       c'.(i) <- div upper.(i) m;
       d'.(i) <- div (sub rhs.(i) (mul lower.(i) d'.(i - 1))) m
     done;

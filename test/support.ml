@@ -5,7 +5,7 @@ let approx ?(eps = 1e-9) msg expected actual =
     Alcotest.failf "%s: expected %.12g, got %.12g (eps %g)" msg expected actual eps
 
 let approx_rel ?(rel = 1e-6) msg expected actual =
-  let scale = Float.max (Float.abs expected) 1e-300 in
+  let scale = Float.max (Float.abs expected) Tol.underflow_guard in
   if Float.abs (expected -. actual) /. scale > rel then
     Alcotest.failf "%s: expected %.12g, got %.12g (rel %g)" msg expected actual rel
 

@@ -4,6 +4,7 @@ let () =
       ("numerics:basic", Test_numerics_basic.suite);
       ("numerics:linalg", Test_numerics_linalg.suite);
       ("numerics:interp+contour", Test_numerics_interp.suite);
+      ("numerics:parallel", Test_parallel.suite);
       ("physics+gnr", Test_gnr.suite);
       ("negf", Test_negf.suite);
       ("poisson", Test_poisson.suite);

@@ -1,0 +1,61 @@
+(* Parallel.map: agreement with the sequential map, exception propagation
+   from worker domains, and the GNRFET_DOMAINS environment override. *)
+
+exception Boom of int
+
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
+
+let test_matches_sequential () =
+  let input = Array.init 257 (fun i -> i - 7) in
+  let f x = (x * x) - (3 * x) + 1 in
+  let expected = Array.map f input in
+  Alcotest.(check (array int))
+    "parallel result equals Array.map" expected
+    (Parallel.map ~domains:4 f input);
+  Alcotest.(check (array int))
+    "single-domain fallback equals Array.map" expected
+    (Parallel.map ~domains:1 f input)
+
+let test_order_preserved () =
+  let input = Array.init 100 (fun i -> float_of_int i) in
+  let out = Parallel.map ~domains:3 (fun x -> 2. *. x) input in
+  Array.iteri
+    (fun i v -> Support.approx (Printf.sprintf "slot %d" i) (2. *. float_of_int i) v)
+    out
+
+let test_exception_propagation () =
+  let input = Array.init 64 (fun i -> i) in
+  Alcotest.check_raises "worker exception is re-raised in the caller" (Boom 13)
+    (fun () ->
+      ignore (Parallel.map ~domains:4 (fun x -> if x = 13 then raise (Boom 13) else x) input))
+
+let test_env_override () =
+  with_env "GNRFET_DOMAINS" "3" (fun () ->
+      Alcotest.(check int) "GNRFET_DOMAINS=3" 3 (Parallel.num_domains ()));
+  with_env "GNRFET_DOMAINS" " 5 " (fun () ->
+      Alcotest.(check int) "whitespace is trimmed" 5 (Parallel.num_domains ()));
+  with_env "GNRFET_DOMAINS" "0" (fun () ->
+      Alcotest.(check int) "clamped to at least one domain" 1 (Parallel.num_domains ()));
+  with_env "GNRFET_DOMAINS" "junk" (fun () ->
+      Alcotest.(check int) "unparsable value falls back to 1" 1 (Parallel.num_domains ()))
+
+let test_env_override_map () =
+  with_env "GNRFET_DOMAINS" "3" (fun () ->
+      let input = Array.init 41 (fun i -> i) in
+      let expected = Array.map succ input in
+      Alcotest.(check (array int))
+        "map under GNRFET_DOMAINS matches sequential" expected (Parallel.map succ input))
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick test_matches_sequential;
+    Alcotest.test_case "map preserves order" `Quick test_order_preserved;
+    Alcotest.test_case "worker exception propagates" `Quick test_exception_propagation;
+    Alcotest.test_case "GNRFET_DOMAINS override" `Quick test_env_override;
+    Alcotest.test_case "map honours GNRFET_DOMAINS" `Quick test_env_override_map;
+  ]
