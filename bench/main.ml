@@ -1,17 +1,29 @@
 (* Benchmark harness: regenerates every table and figure of the paper and
-   times the computational kernel behind each with Bechamel.
+   times the computational kernel behind each with Bechamel, then times
+   the energy-parallel NEGF kernels sequential-vs-parallel and emits a
+   machine-readable bench report so the perf trajectory is tracked
+   across PRs.
 
    Usage:
      dune exec bench/main.exe                 full reproduction + benchmarks
      GNRFET_BENCH_FAST=1 dune exec bench/main.exe   benchmarks only
 
-   The first run generates the device-table cache (about 12 minutes on one
-   core; `dune exec bin/gen_tables.exe` does the same ahead of time);
-   subsequent runs load it from _tables/. *)
+   Environment:
+     GNRFET_BENCH_FAST=1       skip the full paper reproduction
+     GNRFET_BENCH_KERNELS=a,b  only kernels whose name contains one of the
+                               comma-separated substrings (CI smoke runs
+                               the table-free SCF kernels this way)
+     GNRFET_BENCH_JSON=path    where to write the report
+                               (default BENCH_PR2.json)
+     GNRFET_DOMAINS=n          worker-pool width for the parallel runs
+
+   The first full run generates the device-table cache (about 12 minutes
+   on one core; `dune exec bin/gen_tables.exe` does the same ahead of
+   time); subsequent runs load it from _tables/. *)
 
 open Bechamel
 
-let kernels : (string * (unit -> float)) list =
+let all_kernels : (string * (unit -> float)) list =
   [
     ("fig2a:scf-iv-sweep", Exp_fig2a.bench_kernel);
     ("fig2b:vt-extraction", Exp_fig2b.bench_kernel);
@@ -45,11 +57,48 @@ let kernels : (string * (unit -> float)) list =
           .Roughness.mean_transmission );
   ]
 
-let tests =
-  List.map
-    (fun (name, kernel) ->
-      Test.make ~name (Staged.stage (fun () -> ignore (Sys.opaque_identity (kernel ())))))
-    kernels
+let kernels =
+  match Sys.getenv_opt "GNRFET_BENCH_KERNELS" with
+  | None | Some "" -> all_kernels
+  | Some spec ->
+    let wanted = String.split_on_char ',' spec |> List.map String.trim in
+    let matches name =
+      List.exists
+        (fun w ->
+          w <> ""
+          && String.length w <= String.length name
+          && (let found = ref false in
+              for i = 0 to String.length name - String.length w do
+                if String.sub name i (String.length w) = w then found := true
+              done;
+              !found))
+        wanted
+    in
+    List.filter (fun (name, _) -> matches name) all_kernels
+
+(* The kernels whose cost is the per-energy NEGF loop: timed twice, with
+   the energy loop forced sequential (GNRFET_DOMAINS=1) and with the
+   pool at full width, to track the tentpole speedup. *)
+let energy_loop_kernels = [ "fig2a:scf-iv-sweep"; "fig5:impurity-scf" ]
+
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
+
+(* Plain wall-clock best-of-r timing for the before/after comparison
+   (Bechamel owns the per-kernel steady-state numbers; here we want the
+   same kernel under two environment settings). *)
+let time_ms ?(repeat = 3) kernel =
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (kernel ()));
+    best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1e3)
+  done;
+  !best
 
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -60,24 +109,85 @@ let run_benchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   Printf.printf "\n== kernel timings (Bechamel, monotonic clock) ==\n%!";
-  List.iter
-    (fun test ->
+  List.concat_map
+    (fun (name, kernel) ->
+      let test =
+        Test.make ~name
+          (Staged.stage (fun () -> ignore (Sys.opaque_identity (kernel ()))))
+      in
       let results = Benchmark.all cfg [ instance ] test in
-      Hashtbl.iter
-        (fun name m ->
+      Hashtbl.fold
+        (fun name m acc ->
           let analysis = Analyze.one ols instance m in
           match Analyze.OLS.estimates analysis with
           | Some [ est ] ->
-            Printf.printf "  %-28s %12.3f ms/run\n%!" name (est /. 1e6)
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        results)
-    tests
+            let ms = est /. 1e6 in
+            Printf.printf "  %-28s %12.3f ms/run\n%!" name ms;
+            (name, ms) :: acc
+          | Some _ | None ->
+            Printf.printf "  %-28s (no estimate)\n%!" name;
+            acc)
+        results [])
+    kernels
+
+let run_energy_loop_comparison () =
+  let pairs =
+    List.filter (fun (name, _) -> List.mem name energy_loop_kernels) kernels
+  in
+  if pairs = [] then []
+  else begin
+    Printf.printf
+      "\n== energy-loop kernels: sequential vs parallel (%d domains) ==\n%!"
+      (Parallel.num_domains ());
+    List.map
+      (fun (name, kernel) ->
+        let seq_ms = with_env "GNRFET_DOMAINS" "1" (fun () -> time_ms kernel) in
+        let par_ms = time_ms kernel in
+        let speedup = seq_ms /. par_ms in
+        Printf.printf "  %-28s seq %10.1f ms   par %10.1f ms   %.2fx\n%!" name
+          seq_ms par_ms speedup;
+        (name, seq_ms, par_ms, speedup))
+      pairs
+  end
+
+(* Hand-rolled JSON (no json dependency in the image): flat schema, one
+   object per kernel, documented in docs/PERF.md. *)
+let write_json path ~domains ~kernel_times ~pairs =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"gnrfet-bench-v1\",\n";
+  add "  \"pr\": 2,\n";
+  add "  \"domains\": %d,\n" domains;
+  add "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ms) ->
+      add "    {\"name\": %S, \"ms_per_run\": %.6g}%s\n" name ms
+        (if i = List.length kernel_times - 1 then "" else ","))
+    kernel_times;
+  add "  ],\n";
+  add "  \"energy_loop\": [\n";
+  List.iteri
+    (fun i (name, seq_ms, par_ms, speedup) ->
+      add
+        "    {\"name\": %S, \"sequential_ms\": %.6g, \"parallel_ms\": %.6g, \
+         \"speedup\": %.4g}%s\n"
+        name seq_ms par_ms speedup
+        (if i = List.length pairs - 1 then "" else ","))
+    pairs;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nbench report written to %s\n%!" path
 
 let () =
   let fast = Sys.getenv_opt "GNRFET_BENCH_FAST" <> None in
   Printf.printf
     "GNRFET technology exploration - benchmark & reproduction harness\n";
   Printf.printf "device-table cache: %s\n%!" (Table_cache.cache_dir ());
+  Printf.printf "domain pool width:  %d\n%!" (Parallel.num_domains ());
   let t0 = Unix.gettimeofday () in
   if not fast then begin
     Printf.printf "\n== full reproduction of every paper table and figure ==\n%!";
@@ -102,5 +212,12 @@ let () =
   (* Warm the caches the kernels rely on so Bechamel times steady-state
      behaviour rather than first-touch table generation. *)
   List.iter (fun (_, k) -> ignore (k ())) kernels;
-  run_benchmarks ();
+  let kernel_times = run_benchmarks () in
+  let pairs = run_energy_loop_comparison () in
+  let json_path =
+    match Sys.getenv_opt "GNRFET_BENCH_JSON" with
+    | Some p when p <> "" -> p
+    | Some _ | None -> "BENCH_PR2.json"
+  in
+  write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

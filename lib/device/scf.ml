@@ -56,7 +56,8 @@ let chains_for p =
   let sigma = Self_energy.wideband ~gamma:p.Params.contact_gamma in
   Array.map (fun m -> (m, sigma)) ms.Modespace.modes
 
-let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson) p ~vg ~vd =
+let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
+    ?(parallel = true) p ~vg ~vd =
   let sites = site_positions p in
   let n = Array.length sites in
   let stack = stack_for p in
@@ -96,7 +97,8 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson) p ~vg ~vd 
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
         let q =
-          Observables.site_charge ~eta:1.5e-3 ~bias ~egrid ~midgap:onsite
+          Observables.site_charge ~eta:1.5e-3 ~parallel ~bias ~egrid
+            ~midgap:onsite
             (fun _ -> chain)
         in
         for i = 0 to n - 1 do
@@ -181,7 +183,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson) p ~vg ~vd 
           Array.init (n - 1) (fun i -> if i mod 2 = 0 then m.t1 else m.t2)
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
-        acc +. Observables.current ~eta:1.5e-3 ~bias ~egrid (fun _ -> chain))
+        acc +. Observables.current ~eta:1.5e-3 ~parallel ~bias ~egrid (fun _ -> chain))
       0. modes
   in
   {

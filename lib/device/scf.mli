@@ -29,6 +29,7 @@ val solve :
   ?max_iter:int ->
   ?init:float array ->
   ?mixing:[ `Anderson | `Linear of float ] ->
+  ?parallel:bool ->
   Params.t ->
   vg:float ->
   vd:float ->
@@ -38,4 +39,9 @@ val solve :
     best iterate; [residual] reports the achieved update so callers can
     assert convergence where it matters).  [mixing] selects the
     fixed-point accelerator (default Anderson; [`Linear alpha] is the
-    plain under-relaxation baseline used by the convergence ablation). *)
+    plain under-relaxation baseline used by the convergence ablation).
+    [parallel] (default true) runs the per-energy NEGF loop across the
+    domain pool; outer device-level fan-outs (table generation) pass
+    [~parallel:false] so nesting does not oversubscribe the cores.  The
+    solution is bit-for-bit identical either way (the energy reduction
+    is deterministic; see docs/PERF.md). *)

@@ -81,13 +81,22 @@ let get_many ?grid ps =
   if missing <> [] then begin
     (* Persist each table as soon as it is generated so an interrupted
        batch keeps its completed work. *)
-    let generate_and_store p =
+    let generate_and_store ~parallel p =
       let key = full_key ?grid p in
-      let t = Iv_table.generate ?grid p in
+      let t = Iv_table.generate ?grid ~parallel p in
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
       store_file key t;
       ()
     in
-    ignore (Parallel.map generate_and_store (Array.of_list missing))
+    (* One missing device: let its energy loop use the whole pool.
+       Several: parallelise across devices instead and force the inner
+       energy loop sequential, so device x energy nesting does not
+       oversubscribe the cores. *)
+    if List.compare_length_with missing 1 > 0 && Parallel.num_domains () > 1
+    then
+      ignore
+        (Parallel.map (generate_and_store ~parallel:false)
+           (Array.of_list missing))
+    else List.iter (generate_and_store ~parallel:true) missing
   end;
   List.map (fun p -> get ?grid p) ps

@@ -14,8 +14,11 @@ val get : ?grid:Iv_table.grid_spec -> Params.t -> Iv_table.t
 (** Load or generate (and persist). Thread through all experiment code. *)
 
 val get_many : ?grid:Iv_table.grid_spec -> Params.t list -> Iv_table.t list
-(** Like {!get} for a batch, generating missing tables in parallel across
-    domains. *)
+(** Like {!get} for a batch.  Two or more missing tables are generated in
+    parallel across devices with the per-device energy loop forced
+    sequential; a single missing table is generated with the energy-level
+    parallelism enabled instead, so the pool is saturated either way
+    without oversubscribing (see docs/PERF.md). *)
 
 val clear_memory : unit -> unit
 (** Drop the in-memory cache (tests). *)

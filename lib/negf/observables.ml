@@ -6,55 +6,125 @@ let energy_grid ~lo ~hi ~de =
   let n = max 3 (1 + int_of_float (Float.ceil ((hi -. lo) /. de))) in
   Vec.linspace lo hi n
 
-let transmission_spectrum ?eta ~egrid chain_at =
-  Array.map (fun e -> Rgf.transmission ?eta (chain_at e) e) egrid
+(* Energy points are embarrassingly parallel; all three observables fan
+   the grid out over the persistent domain pool in fixed contiguous
+   chunks and combine per-chunk partials in chunk order, so the result
+   is bit-for-bit identical for every GNRFET_DOMAINS setting including
+   the sequential [parallel:false] path (see docs/PERF.md).  Chunked
+   trapezoid partials re-evaluate one boundary sample per chunk — a few
+   extra RGF sweeps per grid, negligible against the win. *)
 
-let current ?eta ~bias ~egrid chain_at =
+let domains_of parallel = if parallel then None else Some 1
+
+let transmission_spectrum ?eta ?(parallel = true) ~egrid chain_at =
+  let ne = Array.length egrid in
+  let out = Array.make ne 0. in
+  (* Chunks write disjoint index ranges of [out].  gnrlint: allow-shared *)
+  ignore
+    (Parallel.map_reduce ?domains:(domains_of parallel) ~n:ne
+       ~worker:(fun _ -> Rgf.workspace ())
+       ~body:(fun ws ~lo ~hi ->
+         for k = lo to hi - 1 do
+           out.(k) <- Rgf.transmission_into ?eta ws (chain_at egrid.(k)) egrid.(k)
+         done)
+       ~combine:(fun () () -> ())
+       ());
+  out
+
+let current ?eta ?(parallel = true) ~bias ~egrid chain_at =
   let { mu_s; mu_d; kt } = bias in
-  let integrand =
-    Array.map
-      (fun e ->
-        let window = Fermi.window ~mu1:mu_s ~mu2:mu_d ~kt e in
-        if Float.abs window < 1e-14 then 0.
-        else Rgf.transmission ?eta (chain_at e) e *. window)
-      egrid
+  let integrand ws k =
+    let e = egrid.(k) in
+    let window = Fermi.window ~mu1:mu_s ~mu2:mu_d ~kt e in
+    if Float.abs window < 1e-14 then 0.
+    else Rgf.transmission_into ?eta ws (chain_at e) e *. window
   in
-  Const.g0 *. Integrate.trapezoid_samples ~xs:egrid ~ys:integrand
+  (* Trapezoid rule as a chunked reduction over the ne-1 intervals. *)
+  let integral =
+    Parallel.map_reduce ?domains:(domains_of parallel)
+      ~n:(Array.length egrid - 1)
+      ~worker:(fun _ -> Rgf.workspace ())
+      ~body:(fun ws ~lo ~hi ->
+        let acc = ref 0. in
+        let prev = ref (integrand ws lo) in
+        for k = lo to hi - 1 do
+          let cur = integrand ws (k + 1) in
+          acc := !acc +. (0.5 *. (egrid.(k + 1) -. egrid.(k)) *. (!prev +. cur));
+          prev := cur
+        done;
+        !acc)
+      ~combine:( +. ) 0.
+  in
+  Const.g0 *. integral
 
-let site_charge ?eta ~bias ~egrid ~midgap chain_at =
+(* Per-worker scratch for the charge integration: the RGF workspace plus
+   two sample buffers (signed occupied spectral weight at the previous
+   and current energy point), swapped as the chunk walks its intervals. *)
+type charge_scratch = {
+  ws : Rgf.workspace;
+  mutable s_prev : float array;
+  mutable s_cur : float array;
+}
+
+let site_charge ?eta ?(parallel = true) ~bias ~egrid ~midgap chain_at =
   let { mu_s; mu_d; kt } = bias in
-  let n = Array.length (chain_at egrid.(0)).Rgf.onsite in
+  let chain0 = chain_at egrid.(0) in
+  let n = Array.length chain0.Rgf.onsite in
   if Array.length midgap <> n then
     invalid_arg "Observables.site_charge: midgap length mismatch";
-  let electrons = Array.make n 0. and holes = Array.make n 0. in
-  let ne = Array.length egrid in
-  (* Trapezoid accumulation of the occupied spectral weight, split into an
-     electron count above the local mid-gap and a hole count below it so
-     both integrals converge within a few kT of the contact potentials. *)
-  let previous = ref None in
-  for k = 0 to ne - 1 do
+  (* The k = 0 chain is reused rather than rebuilt (chain_at may do real
+     work per call, e.g. energy-dependent self-energies). *)
+  let chain_of k = if k = 0 then chain0 else chain_at egrid.(k) in
+  (* Signed occupied spectral weight per site at energy index k: an
+     electron count above the local mid-gap weighted by the contact
+     Fermi factors, a (negated) hole count below it weighted by the
+     complements, so both integrals converge within a few kT of the
+     contact potentials. *)
+  let sample_into scratch dst k =
     let e = egrid.(k) in
-    let { Rgf.a1; a2; _ } = Rgf.spectra ?eta (chain_at e) e in
+    ignore (Rgf.spectra_into ?eta scratch.ws (chain_of k) e);
+    let a1 = Rgf.a1 scratch.ws and a2 = Rgf.a2 scratch.ws in
     let fs = Fermi.occupation ~mu:mu_s ~kt e in
     let fd = Fermi.occupation ~mu:mu_d ~kt e in
-    let sample =
-      Array.init n (fun i ->
-          if e >= midgap.(i) then (a1.(i) *. fs) +. (a2.(i) *. fd)
-          else -.((a1.(i) *. (1. -. fs)) +. (a2.(i) *. (1. -. fd))))
-    in
-    begin
-      match !previous with
-      | None -> ()
-      | Some (e_prev, s_prev) ->
-        let h = 0.5 *. (e -. e_prev) in
+    for i = 0 to n - 1 do
+      dst.(i) <-
+        (if e >= midgap.(i) then (a1.(i) *. fs) +. (a2.(i) *. fd)
+         else -.((a1.(i) *. (1. -. fs)) +. (a2.(i) *. (1. -. fd))))
+    done
+  in
+  (* Trapezoid accumulation of the occupied spectral weight over the
+     ne-1 energy intervals, chunked: each chunk integrates its intervals
+     into fresh electron/hole accumulators (split by sign so electron
+     and hole counts stay separately positive). *)
+  let electrons, holes =
+    Parallel.map_reduce ?domains:(domains_of parallel)
+      ~n:(Array.length egrid - 1)
+      ~worker:(fun _ ->
+        { ws = Rgf.workspace ~hint:n (); s_prev = Array.make n 0.; s_cur = Array.make n 0. })
+      ~body:(fun scratch ~lo ~hi ->
+        let electrons = Array.make n 0. and holes = Array.make n 0. in
+        sample_into scratch scratch.s_prev lo;
+        for k = lo to hi - 1 do
+          sample_into scratch scratch.s_cur (k + 1);
+          let h = 0.5 *. (egrid.(k + 1) -. egrid.(k)) in
+          let sp = scratch.s_prev and sc = scratch.s_cur in
+          for i = 0 to n - 1 do
+            let v = h *. (sp.(i) +. sc.(i)) in
+            if v >= 0. then electrons.(i) <- electrons.(i) +. v
+            else holes.(i) <- holes.(i) -. v
+          done;
+          scratch.s_prev <- sc;
+          scratch.s_cur <- sp
+        done;
+        (electrons, holes))
+      ~combine:(fun (ea, ha) (eb, hb) ->
         for i = 0 to n - 1 do
-          let v = h *. (s_prev.(i) +. sample.(i)) in
-          if v >= 0. then electrons.(i) <- electrons.(i) +. v
-          else holes.(i) <- holes.(i) -. v
-        done
-    end;
-    previous := Some (e, sample)
-  done;
+          ea.(i) <- ea.(i) +. eb.(i);
+          ha.(i) <- ha.(i) +. hb.(i)
+        done;
+        (ea, ha))
+      (Array.make n 0., Array.make n 0.)
+  in
   (* Spin degeneracy 2; 2π spectral normalization; electrons negative. *)
   let scale = 2. *. Const.q /. (2. *. Float.pi) in
   Array.init n (fun i -> -.scale *. (electrons.(i) -. holes.(i)))

@@ -1,5 +1,15 @@
 (** Physical observables of a mode-space chain: terminal current and site
-    charge from the RGF spectra. *)
+    charge from the RGF spectra.
+
+    All three observables treat energy points as embarrassingly parallel
+    and fan the grid out over the persistent {!Parallel} pool in fixed
+    contiguous chunks.  {b Determinism:} the chunk grid and the
+    chunk-order combine depend only on the energy grid, never on the
+    worker count, so results are bit-for-bit identical for every
+    [GNRFET_DOMAINS] setting and [?parallel:false] reproduces the
+    parallel result exactly (see docs/PERF.md).  Pass [~parallel:false]
+    from code that is already running under an outer parallel fan-out
+    (device-level table generation) to avoid oversubscription. *)
 
 type bias = {
   mu_s : float;  (** source electro-chemical potential, eV *)
@@ -12,16 +22,23 @@ val energy_grid : lo:float -> hi:float -> de:float -> float array
     three points). *)
 
 val current :
-  ?eta:float -> bias:bias -> egrid:float array -> (float -> Rgf.chain) -> float
+  ?eta:float ->
+  ?parallel:bool ->
+  bias:bias ->
+  egrid:float array ->
+  (float -> Rgf.chain) ->
+  float
 (** [current ~bias ~egrid chain_at]: Landauer current (A) of one
     spin-degenerate mode chain, [I = (2q²/h) ∫ T(E) (f_s - f_d) dE].
     The chain is requested per energy point so energy-dependent contact
     self-energies are handled exactly (wide-band contacts may ignore the
     argument).  Positive current flows source to drain when
-    [mu_s > mu_d]. *)
+    [mu_s > mu_d].  [parallel] (default true) chunks the trapezoid
+    reduction over the energy grid. *)
 
 val site_charge :
   ?eta:float ->
+  ?parallel:bool ->
   bias:bias ->
   egrid:float array ->
   midgap:float array ->
@@ -35,5 +52,9 @@ val site_charge :
     level per site (normally equal to [chain.onsite]). *)
 
 val transmission_spectrum :
-  ?eta:float -> egrid:float array -> (float -> Rgf.chain) -> float array
+  ?eta:float ->
+  ?parallel:bool ->
+  egrid:float array ->
+  (float -> Rgf.chain) ->
+  float array
 (** T(E) sampled on the grid (for spectrum plots and tests). *)

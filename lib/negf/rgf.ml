@@ -24,13 +24,84 @@ let inv_re zr zi = let d = (zr *. zr) +. (zi *. zi) in zr /. d
 
 let inv_im zr zi = let d = (zr *. zr) +. (zi *. zi) in -.zi /. d
 
-let spectra ?(eta = 1e-6) chain e =
-  let n = check chain in
+(* Preallocated per-worker scratch: [spectra] allocates ten length-n
+   arrays per energy point, which dominates the allocation rate of an
+   SCF sweep (thousands of energies per charge evaluation).  A workspace
+   holds the Green's-function sweeps, the first/last-column propagations
+   and the output diagonals, grown geometrically on demand; the arrays
+   may be longer than the current chain, so every kernel below indexes
+   strictly through [0, n).
+
+   The workspace also caches the last chain vetted by [check] (physical
+   equality): per-energy calls on the same chain — the common case, an
+   SCF iteration walks a whole energy grid with one chain — skip the
+   redundant length re-validation while malformed chains still fail with
+   the same [Invalid_argument] on first contact. *)
+type workspace = {
+  mutable glr : float array;
+  mutable gli : float array;
+  mutable grr : float array;
+  mutable gri : float array;
+  mutable c0r : float array;
+  mutable c0i : float array;
+  mutable cnr : float array;
+  mutable cni : float array;
+  mutable wa1 : float array;
+  mutable wa2 : float array;
+  mutable validated : chain option;
+}
+
+let workspace ?(hint = 0) () =
+  let mk () = Array.make (max hint 0) 0. in
+  {
+    glr = mk ();
+    gli = mk ();
+    grr = mk ();
+    gri = mk ();
+    c0r = mk ();
+    c0i = mk ();
+    cnr = mk ();
+    cni = mk ();
+    wa1 = mk ();
+    wa2 = mk ();
+    validated = None;
+  }
+
+let a1 ws = ws.wa1
+
+let a2 ws = ws.wa2
+
+let ensure_capacity ws n =
+  if Array.length ws.glr < n then begin
+    let cap = max n (2 * Array.length ws.glr) in
+    ws.glr <- Array.make cap 0.;
+    ws.gli <- Array.make cap 0.;
+    ws.grr <- Array.make cap 0.;
+    ws.gri <- Array.make cap 0.;
+    ws.c0r <- Array.make cap 0.;
+    ws.c0i <- Array.make cap 0.;
+    ws.cnr <- Array.make cap 0.;
+    ws.cni <- Array.make cap 0.;
+    ws.wa1 <- Array.make cap 0.;
+    ws.wa2 <- Array.make cap 0.
+  end
+
+let check_cached ws chain =
+  match ws.validated with
+  | Some c when c == chain -> Array.length chain.onsite
+  | Some _ | None ->
+    let n = check chain in
+    ensure_capacity ws n;
+    ws.validated <- Some chain;
+    n
+
+(* Core spectra kernel writing into caller-provided scratch (each array
+   at least length [n]); returns the coherent transmission. *)
+let spectra_core ~eta ~n ~glr ~gli ~grr ~gri ~c0r ~c0i ~cnr ~cni ~a1 ~a2 chain e =
   let u = chain.onsite and h = chain.hopping in
   let slr = chain.sigma_l.Complex.re and sli = chain.sigma_l.Complex.im in
   let srr = chain.sigma_r.Complex.re and sri = chain.sigma_r.Complex.im in
   (* Left-connected Green's functions gL_i. *)
-  let glr = Array.make n 0. and gli = Array.make n 0. in
   let zr0 = e -. u.(0) -. slr and zi0 = eta -. sli in
   glr.(0) <- inv_re zr0 zi0;
   gli.(0) <- inv_im zr0 zi0;
@@ -44,7 +115,6 @@ let spectra ?(eta = 1e-6) chain e =
     gli.(i) <- inv_im zr zi
   done;
   (* Right-connected Green's functions gR_i. *)
-  let grr = Array.make n 0. and gri = Array.make n 0. in
   let zrn = e -. u.(n - 1) -. srr and zin = eta -. sri in
   grr.(n - 1) <- inv_re zrn zin;
   gri.(n - 1) <- inv_im zrn zin;
@@ -59,7 +129,6 @@ let spectra ?(eta = 1e-6) chain e =
   done;
   (* First column of the full G: G_{i,0} = gR_i * h_{i-1} * G_{i-1,0},
      G_{0,0} fully-connected (gR_0 already includes sigma_l). *)
-  let c0r = Array.make n 0. and c0i = Array.make n 0. in
   c0r.(0) <- grr.(0);
   c0i.(0) <- gri.(0);
   for i = 1 to n - 1 do
@@ -69,7 +138,6 @@ let spectra ?(eta = 1e-6) chain e =
   done;
   (* Last column: G_{i,n-1} = gL_i * h_i * G_{i+1,n-1}, with the fully
      connected G_{n-1,n-1} = gL_{n-1} (left sweep already has sigma_r). *)
-  let cnr = Array.make n 0. and cni = Array.make n 0. in
   cnr.(n - 1) <- glr.(n - 1);
   cni.(n - 1) <- gli.(n - 1);
   for i = n - 2 downto 0 do
@@ -79,20 +147,37 @@ let spectra ?(eta = 1e-6) chain e =
   done;
   let gamma_l = gamma_of_sigma chain.sigma_l in
   let gamma_r = gamma_of_sigma chain.sigma_r in
-  let a1 = Array.make n 0. and a2 = Array.make n 0. in
   for i = 0 to n - 1 do
     a1.(i) <- gamma_l *. ((c0r.(i) *. c0r.(i)) +. (c0i.(i) *. c0i.(i)));
     a2.(i) <- gamma_r *. ((cnr.(i) *. cnr.(i)) +. (cni.(i) *. cni.(i)))
   done;
   let g0n2 = (cnr.(0) *. cnr.(0)) +. (cni.(0) *. cni.(0)) in
-  { t_coh = gamma_l *. gamma_r *. g0n2; a1; a2 }
+  gamma_l *. gamma_r *. g0n2
 
-let transmission ?(eta = 1e-6) chain e =
+let spectra_into ?(eta = 1e-6) ws chain e =
+  let n = check_cached ws chain in
+  spectra_core ~eta ~n ~glr:ws.glr ~gli:ws.gli ~grr:ws.grr ~gri:ws.gri
+    ~c0r:ws.c0r ~c0i:ws.c0i ~cnr:ws.cnr ~cni:ws.cni ~a1:ws.wa1 ~a2:ws.wa2
+    chain e
+
+let spectra ?(eta = 1e-6) chain e =
   let n = check chain in
+  let glr = Array.make n 0. and gli = Array.make n 0. in
+  let grr = Array.make n 0. and gri = Array.make n 0. in
+  let c0r = Array.make n 0. and c0i = Array.make n 0. in
+  let cnr = Array.make n 0. and cni = Array.make n 0. in
+  let a1 = Array.make n 0. and a2 = Array.make n 0. in
+  let t_coh =
+    spectra_core ~eta ~n ~glr ~gli ~grr ~gri ~c0r ~c0i ~cnr ~cni ~a1 ~a2 chain e
+  in
+  { t_coh; a1; a2 }
+
+(* Single left sweep, propagating the (0, i) matrix element product:
+   allocation-free already, shared by both transmission entry points. *)
+let transmission_core ~eta ~n chain e =
   let u = chain.onsite and h = chain.hopping in
   let slr = chain.sigma_l.Complex.re and sli = chain.sigma_l.Complex.im in
   let srr = chain.sigma_r.Complex.re and sri = chain.sigma_r.Complex.im in
-  (* Single left sweep, propagating the (0, i) matrix element product. *)
   let zr0 = e -. u.(0) -. slr and zi0 = eta -. sli in
   let glr = ref (inv_re zr0 zi0) and gli = ref (inv_im zr0 zi0) in
   (* pr + i pi accumulates prod_{j<i} (gL_j h_j). *)
@@ -117,3 +202,11 @@ let transmission ?(eta = 1e-6) chain e =
   let gamma_l = gamma_of_sigma chain.sigma_l in
   let gamma_r = gamma_of_sigma chain.sigma_r in
   gamma_l *. gamma_r *. ((!pr *. !pr) +. (!pi *. !pi))
+
+let transmission ?(eta = 1e-6) chain e =
+  let n = check chain in
+  transmission_core ~eta ~n chain e
+
+let transmission_into ?(eta = 1e-6) ws chain e =
+  let n = check_cached ws chain in
+  transmission_core ~eta ~n chain e

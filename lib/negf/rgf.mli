@@ -31,3 +31,39 @@ val spectra : ?eta:float -> chain -> float -> spectra
     single O(n) pass.  Satisfies [t_coh = ΓR a2 ... ] sum rules tested in
     the suite; the local density of states per site is
     [(a1 + a2) / 2π]. *)
+
+(** {2 Allocation-free workspace paths}
+
+    [spectra] allocates ten length-n arrays per energy point; the
+    energy-parallel observables instead give each worker one {!workspace}
+    and reuse it across its whole energy chunk. *)
+
+type workspace
+(** Preallocated RGF scratch (Green's-function sweeps, column
+    propagations, spectral diagonals).  Grows on demand; safe to reuse
+    across chains of different lengths.  Not thread-safe: one workspace
+    per worker. *)
+
+val workspace : ?hint:int -> unit -> workspace
+(** Fresh workspace, optionally pre-sized for chains of [hint] sites. *)
+
+val spectra_into : ?eta:float -> workspace -> chain -> float -> float
+(** [spectra_into ws chain e] computes the same quantities as {!spectra}
+    without allocating: the return value is [t_coh] and the spectral
+    diagonals are left in [a1 ws] / [a2 ws].  Chain validation is cached
+    per workspace (physical equality on [chain]), so per-energy calls on
+    one chain validate it once; a malformed chain raises
+    [Invalid_argument] exactly as {!spectra} does. *)
+
+val a1 : workspace -> float array
+(** Source-injected spectral diagonal of the last {!spectra_into} call,
+    valid on indices [0, n) until the next call on this workspace.  The
+    array may be longer than the chain and is re-allocated when the
+    workspace grows — re-fetch it after each [spectra_into]. *)
+
+val a2 : workspace -> float array
+(** Drain-injected counterpart of {!a1}. *)
+
+val transmission_into : ?eta:float -> workspace -> chain -> float -> float
+(** {!transmission} through the workspace's cached chain validation (the
+    transmission sweep itself is already allocation-free). *)

@@ -93,9 +93,15 @@ let gauss_jordan m bre bim bcols =
   in
   for k = 0 to n - 1 do
     let pivot = ref k in
-    let best = ref ((are.((k * n) + k) ** 2.) +. (aim.((k * n) + k) ** 2.)) in
+    (* Explicit multiplication: [**] is a libm pow call, far too slow for
+       the innermost pivot scan. *)
+    let norm2 i =
+      let re = are.((i * n) + k) and im = aim.((i * n) + k) in
+      (re *. re) +. (im *. im)
+    in
+    let best = ref (norm2 k) in
     for i = k + 1 to n - 1 do
-      let v = (are.((i * n) + k) ** 2.) +. (aim.((i * n) + k) ** 2.) in
+      let v = norm2 i in
       if v > !best then begin
         best := v;
         pivot := i

@@ -9,7 +9,8 @@ let symmetric a =
     let acc = ref 0. in
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
-        acc := !acc +. (Matrix.get w i j ** 2.)
+        let v = Matrix.get w i j in
+        acc := !acc +. (v *. v)
       done
     done;
     sqrt !acc

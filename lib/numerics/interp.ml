@@ -80,8 +80,8 @@ let spline_deriv s x =
   let h = s.sx.(i + 1) -. s.sx.(i) in
   let a = (s.sx.(i + 1) -. x) /. h and b = (x -. s.sx.(i)) /. h in
   ((s.sy.(i + 1) -. s.sy.(i)) /. h)
-  +. (((-.((3. *. (a ** 2.)) -. 1.) *. s.m2.(i))
-       +. (((3. *. (b ** 2.)) -. 1.) *. s.m2.(i + 1)))
+  +. (((-.((3. *. (a *. a)) -. 1.) *. s.m2.(i))
+       +. (((3. *. (b *. b)) -. 1.) *. s.m2.(i + 1)))
       *. h /. 6.)
 
 type grid2 = { gx : float array; gy : float array; gv : float array array }

@@ -5,35 +5,213 @@ let num_domains () =
 
 type 'b outcome = Value of 'b | Error of exn
 
+exception Missing_result
+
+(* ------------------------------------------------------------------ *)
+(* Persistent domain pool.                                            *)
+(*                                                                    *)
+(* Workers are spawned once (lazily, up to the largest parallelism a  *)
+(* run has asked for) and fed through a single task queue, so the     *)
+(* thousands of map_reduce calls an SCF sweep makes do not pay a      *)
+(* Domain.spawn/join round-trip each.  A caller waiting for its run   *)
+(* to finish helps by executing queued tasks (possibly its own), so a *)
+(* nested run started from inside a pool worker can never deadlock:   *)
+(* the nested caller drains its own sub-tasks if no worker is free.   *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  mutex : Mutex.t;
+  wake : Condition.t;  (** signals both "task queued" and "slot finished" *)
+  tasks : (unit -> unit) Queue.t;
+  mutable spawned : int;
+  mutable handles : unit Domain.t list;
+  mutable stop : bool;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+    tasks = Queue.create ();
+    spawned = 0;
+    handles = [];
+    stop = false;
+  }
+
+(* Tasks are wrapped at submission so they never raise (run_slots folds
+   exceptions into per-run state); the worker loop therefore needs no
+   catch-all of its own. *)
+let rec worker_loop () =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.tasks && not pool.stop do
+    Condition.wait pool.wake pool.mutex
+  done;
+  if Queue.is_empty pool.tasks then Mutex.unlock pool.mutex (* stop *)
+  else begin
+    let task = Queue.pop pool.tasks in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop ()
+  end
+
+let shutdown_pool () =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.wake;
+  let handles = pool.handles in
+  pool.handles <- [];
+  pool.spawned <- 0;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join handles
+
+let () = at_exit shutdown_pool
+
+(* Workers communicate only through the mutex-protected queue; submitted
+   tasks own disjoint result slots.  gnrlint: allow-shared *)
+let spawn_worker () = Domain.spawn worker_loop
+
+let ensure_workers n =
+  Mutex.lock pool.mutex;
+  while pool.spawned < n && not pool.stop do
+    pool.spawned <- pool.spawned + 1;
+    pool.handles <- spawn_worker () :: pool.handles
+  done;
+  Mutex.unlock pool.mutex
+
+(* Run [job 0 .. job (slots-1)], slot 0 on the calling domain, the rest
+   through the pool.  Exceptions raised by jobs are collected and the
+   first one is re-raised after every slot has finished. *)
+let run_slots ~slots job =
+  if slots <= 1 then job 0
+  else begin
+    ensure_workers (slots - 1);
+    let remaining = ref slots in
+    let failures = ref [] in
+    let wrapped slot () =
+      (try job slot
+       with e ->
+         Mutex.lock pool.mutex;
+         failures := e :: !failures;
+         Mutex.unlock pool.mutex);
+      Mutex.lock pool.mutex;
+      decr remaining;
+      Condition.broadcast pool.wake;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    for s = 1 to slots - 1 do
+      Queue.push (wrapped s) pool.tasks
+    done;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex;
+    wrapped 0 ();
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if !remaining > 0 then
+        if not (Queue.is_empty pool.tasks) then begin
+          (* Help: run queued tasks (ours or another run's) instead of
+             blocking a domain on the condition variable. *)
+          let task = Queue.pop pool.tasks in
+          Mutex.unlock pool.mutex;
+          task ();
+          Mutex.lock pool.mutex;
+          wait ()
+        end
+        else begin
+          Condition.wait pool.wake pool.mutex;
+          wait ()
+        end
+    in
+    wait ();
+    let failed = !failures in
+    Mutex.unlock pool.mutex;
+    match failed with [] -> () | e :: _ -> raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunked primitives.                                                *)
+(*                                                                    *)
+(* The chunk grid depends only on [n] and [chunk] — never on the      *)
+(* worker count or the scheduling — and partial results are combined  *)
+(* in ascending chunk order, so the result is bit-for-bit identical   *)
+(* for every GNRFET_DOMAINS setting (the determinism contract the     *)
+(* NEGF observables rely on; see docs/PERF.md).                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_chunk = 16
+
+let map_reduce ?domains ?(chunk = default_chunk) ~n ~worker ~body ~combine init =
+  if n <= 0 then init
+  else begin
+    let chunk = max 1 chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    let requested =
+      match domains with Some d -> max 1 d | None -> num_domains ()
+    in
+    let slots = min requested nchunks in
+    let partials = Array.make nchunks None in
+    let bounds i = (i * chunk, min n ((i + 1) * chunk)) in
+    if slots <= 1 then begin
+      let w = worker 0 in
+      for i = 0 to nchunks - 1 do
+        let lo, hi = bounds i in
+        partials.(i) <- Some (body w ~lo ~hi)
+      done
+    end
+    else begin
+      let next = Atomic.make 0 in
+      (* Slots claim disjoint [partials] entries via the atomic counter. *)
+      run_slots ~slots (fun slot ->
+          let w = worker slot in
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < nchunks then begin
+              let lo, hi = bounds i in
+              partials.(i) <- Some (body w ~lo ~hi);
+              go ()
+            end
+          in
+          go ())
+    end;
+    Array.fold_left
+      (fun acc p ->
+        match p with Some p -> combine acc p | None -> raise Missing_result)
+      init partials
+  end
+
+let parallel_for ?domains ?chunk ~n body =
+  map_reduce ?domains ?chunk ~n
+    ~worker:(fun _ -> ())
+    ~body:(fun () ~lo ~hi -> body ~lo ~hi)
+    ~combine:(fun () () -> ())
+    ()
+
 let map ?domains f inputs =
   let n = Array.length inputs in
-  let workers = match domains with Some d -> d | None -> num_domains () in
-  if workers <= 1 || n <= 1 then Array.map f inputs
+  let requested =
+    match domains with Some d -> max 1 d | None -> num_domains ()
+  in
+  let slots = min requested n in
+  if slots <= 1 || n <= 1 then Array.map f inputs
   else begin
-    let workers = min workers n in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let work () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r = try Value (f inputs.(i)) with e -> Error e in
-          results.(i) <- Some r;
-          go ()
-        end
-      in
-      go ()
-    in
-    (* Workers claim disjoint indices of [results] via the [next] counter,
-       so the shared-array writes never overlap.  gnrlint: allow-shared *)
-    let handles = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
-    work ();
-    Array.iter Domain.join handles;
+    (* Slots claim disjoint [results] entries via the atomic counter. *)
+    run_slots ~slots (fun _slot ->
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let r = try Value (f inputs.(i)) with e -> Error e in
+            results.(i) <- Some r;
+            go ()
+          end
+        in
+        go ());
     Array.map
       (fun r ->
         match r with
         | Some (Value v) -> v
         | Some (Error e) -> raise e
-        | None -> assert false)
+        | None -> raise Missing_result)
       results
   end

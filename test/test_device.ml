@@ -171,6 +171,38 @@ let test_table_cache_distinguishes_devices () =
       Alcotest.(check bool) "different devices differ" true
         (t9.Iv_table.current.(8).(3) <> t12.Iv_table.current.(8).(3)))
 
+let test_scf_parallel_equivalence () =
+  (* The full SCF fixed point must be bit-for-bit identical whether the
+     energy loop runs sequentially or across the domain pool: same
+     iterate sequence, same converged potential, current and charge. *)
+  let with_env key value f =
+    let old = Sys.getenv_opt key in
+    Unix.putenv key value;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+      f
+  in
+  let seq = Scf.solve ~parallel:false tiny ~vg:0.4 ~vd:0.3 in
+  let check_same label (par : Scf.solution) =
+    Alcotest.(check int) (label ^ ": iterations") seq.Scf.iterations
+      par.Scf.iterations;
+    Alcotest.(check bool) (label ^ ": current bit-for-bit") true
+      (par.Scf.current = seq.Scf.current);
+    Alcotest.(check bool) (label ^ ": total charge bit-for-bit") true
+      (par.Scf.charge = seq.Scf.charge);
+    Array.iteri
+      (fun i u ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: potential site %d" label i)
+          true
+          (u = seq.Scf.potential.(i)))
+      par.Scf.potential
+  in
+  check_same "parallel default pool" (Scf.solve ~parallel:true tiny ~vg:0.4 ~vd:0.3);
+  with_env "GNRFET_DOMAINS" "5" (fun () ->
+      check_same "GNRFET_DOMAINS=5"
+        (Scf.solve ~parallel:true tiny ~vg:0.4 ~vd:0.3))
+
 let test_params_cache_key_stability () =
   let a = Params.cache_key (Params.default ()) in
   let b = Params.cache_key (Params.default ()) in
@@ -196,4 +228,5 @@ let suite =
     Alcotest.test_case "table cache roundtrip" `Quick test_table_cache_roundtrip;
     Alcotest.test_case "table cache device keying" `Quick test_table_cache_distinguishes_devices;
     Alcotest.test_case "cache key stability" `Quick test_params_cache_key_stability;
+    Alcotest.test_case "scf parallel equivalence" `Quick test_scf_parallel_equivalence;
   ]

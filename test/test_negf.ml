@@ -214,6 +214,109 @@ let test_sancho_rubio_agrees_with_dimer () =
       approx ~eps:1e-5 (Printf.sprintf "Im g at %g" e) g_scalar.Complex.im g_block.Complex.im)
     [ 0.8; 1.5; 2.5 ]
 
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
+
+let exact_array name a b =
+  Alcotest.(check int) (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: site %d bit-for-bit" name i)
+        true
+        (v = b.(i)))
+    a
+
+(* The determinism contract: the parallel energy loop must reproduce the
+   sequential path exactly (not approximately), for any worker count. *)
+
+let test_site_charge_parallel_exact () =
+  let chain = flat_chain ~n:20 () in
+  let egrid = Observables.energy_grid ~lo:(-3.4) ~hi:3.4 ~de:0.01 in
+  let midgap = (chain 0.).Rgf.onsite in
+  let q_seq =
+    Observables.site_charge ~parallel:false ~bias ~egrid ~midgap chain
+  in
+  let q_par = Observables.site_charge ~parallel:true ~bias ~egrid ~midgap chain in
+  exact_array "site_charge parallel vs sequential" q_seq q_par;
+  List.iter
+    (fun d ->
+      with_env "GNRFET_DOMAINS" (string_of_int d) (fun () ->
+          let q =
+            Observables.site_charge ~parallel:true ~bias ~egrid ~midgap chain
+          in
+          exact_array (Printf.sprintf "site_charge GNRFET_DOMAINS=%d" d) q_seq q))
+    [ 1; 3; 7 ]
+
+let test_current_parallel_exact () =
+  let chain = flat_chain ~n:20 () in
+  let egrid = Observables.energy_grid ~lo:(-0.7) ~hi:0.4 ~de:0.004 in
+  let i_seq = Observables.current ~parallel:false ~bias ~egrid chain in
+  List.iter
+    (fun d ->
+      with_env "GNRFET_DOMAINS" (string_of_int d) (fun () ->
+          let i = Observables.current ~parallel:true ~bias ~egrid chain in
+          Alcotest.(check bool)
+            (Printf.sprintf "current bit-for-bit under %d domains" d)
+            true (i = i_seq)))
+    [ 1; 4 ]
+
+let test_transmission_spectrum_parallel_exact () =
+  let chain = flat_chain ~n:16 () in
+  let egrid = Observables.energy_grid ~lo:(-2.) ~hi:2. ~de:0.01 in
+  let t_seq = Observables.transmission_spectrum ~parallel:false ~egrid chain in
+  with_env "GNRFET_DOMAINS" "5" (fun () ->
+      let t_par = Observables.transmission_spectrum ~parallel:true ~egrid chain in
+      exact_array "transmission_spectrum parallel vs sequential" t_seq t_par)
+
+let test_spectra_into_matches_spectra () =
+  let chain = flat_chain ~n:14 () in
+  let ws = Rgf.workspace () in
+  List.iter
+    (fun e ->
+      let c = chain e in
+      let s = Rgf.spectra c e in
+      let t_ws = Rgf.spectra_into ws c e in
+      Alcotest.(check bool) "t_coh bit-for-bit" true (t_ws = s.Rgf.t_coh);
+      let a1 = Rgf.a1 ws and a2 = Rgf.a2 ws in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) (Printf.sprintf "a1 %d" i) true (a1.(i) = v))
+        s.Rgf.a1;
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) (Printf.sprintf "a2 %d" i) true (a2.(i) = v))
+        s.Rgf.a2;
+      Alcotest.(check bool)
+        "transmission_into bit-for-bit" true
+        (Rgf.transmission_into ws c e = Rgf.transmission c e))
+    [ -1.2; 0.; 0.45; 0.9; 1.7 ]
+
+let test_workspace_grows_and_revalidates () =
+  let ws = Rgf.workspace ~hint:4 () in
+  (* Grow through chains of different lengths, interleaved: the cached
+     validation must track the chain identity, not just accept reuse. *)
+  let small = flat_chain ~n:6 () 0.5 in
+  let big = flat_chain ~n:40 () 0.5 in
+  let t_small = Rgf.spectra_into ws small 0.5 in
+  let t_big = Rgf.spectra_into ws big 0.5 in
+  let t_small' = Rgf.spectra_into ws small 0.5 in
+  Alcotest.(check bool) "small chain stable across growth" true
+    (t_small = t_small');
+  approx ~eps:1e-9 "big equals fresh spectra" (Rgf.spectra big 0.5).Rgf.t_coh
+    t_big;
+  (* Malformed chains still fail validation through the workspace path. *)
+  let bad =
+    { Rgf.onsite = [| 0.; 0.; 0. |]; hopping = [| 1. |];
+      sigma_l = Complex.zero; sigma_r = Complex.zero }
+  in
+  check_raises_invalid "hopping length mismatch" (fun () ->
+      ignore (Rgf.spectra_into ws bad 0.))
+
 let test_energy_grid () =
   let g = Observables.energy_grid ~lo:(-1.) ~hi:1. ~de:0.1 in
   Alcotest.(check bool) "at least 21 points" true (Array.length g >= 21);
@@ -238,6 +341,14 @@ let suite =
     Alcotest.test_case "charge sign follows mu" `Quick test_charge_sign_follows_mu;
     Alcotest.test_case "sancho-rubio vs dimer" `Quick test_sancho_rubio_agrees_with_dimer;
     Alcotest.test_case "energy grid" `Quick test_energy_grid;
+    Alcotest.test_case "site_charge parallel exact" `Quick test_site_charge_parallel_exact;
+    Alcotest.test_case "current parallel exact" `Quick test_current_parallel_exact;
+    Alcotest.test_case "T spectrum parallel exact" `Quick
+      test_transmission_spectrum_parallel_exact;
+    Alcotest.test_case "spectra_into matches spectra" `Quick
+      test_spectra_into_matches_spectra;
+    Alcotest.test_case "workspace growth + validation" `Quick
+      test_workspace_grows_and_revalidates;
   ]
 
 let ideal_block_device n e =

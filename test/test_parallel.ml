@@ -1,5 +1,7 @@
-(* Parallel.map: agreement with the sequential map, exception propagation
-   from worker domains, and the GNRFET_DOMAINS environment override. *)
+(* Parallel pool: agreement of map/map_reduce/parallel_for with the
+   sequential path (bit-for-bit, per the determinism contract), exception
+   propagation from pool workers, pool reuse across many calls, nested
+   runs, and the GNRFET_DOMAINS environment override. *)
 
 exception Boom of int
 
@@ -51,6 +53,120 @@ let test_env_override_map () =
       Alcotest.(check (array int))
         "map under GNRFET_DOMAINS matches sequential" expected (Parallel.map succ input))
 
+let test_pool_reuse () =
+  (* Many small batches in a row exercise the persistent pool (workers
+     are reused, not respawned); failure mode is a hang or a crash. *)
+  let input = Array.init 64 (fun i -> i) in
+  for round = 1 to 100 do
+    let out = Parallel.map ~domains:4 (fun x -> x + round) input in
+    Alcotest.(check int) "round result" (63 + round) out.(63)
+  done
+
+(* Non-associative floating-point reduction: any change of summation
+   order (worker count, chunk scheduling) would change the result. *)
+let harmonic_sum ?domains ?chunk n =
+  Parallel.map_reduce ?domains ?chunk ~n
+    ~worker:(fun _ -> ())
+    ~body:(fun () ~lo ~hi ->
+      let s = ref 0. in
+      for i = lo to hi - 1 do
+        s := !s +. (1. /. float_of_int (i + 1))
+      done;
+      !s)
+    ~combine:( +. ) 0.
+
+let test_map_reduce_deterministic () =
+  let reference = harmonic_sum ~domains:1 9973 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d bit-for-bit equal to domains=1" d)
+        true
+        (harmonic_sum ~domains:d 9973 = reference))
+    [ 2; 3; 4; 8 ];
+  with_env "GNRFET_DOMAINS" "1" (fun () ->
+      Alcotest.(check bool)
+        "GNRFET_DOMAINS=1 equals explicit domains=1" true
+        (harmonic_sum 9973 = reference));
+  with_env "GNRFET_DOMAINS" "4" (fun () ->
+      Alcotest.(check bool)
+        "GNRFET_DOMAINS=4 equals domains=1" true
+        (harmonic_sum 9973 = reference))
+
+let test_map_reduce_worker_state () =
+  (* Per-slot workers must be created once per slot and handed to every
+     chunk that slot processes: count distinct worker states used. *)
+  let created = Atomic.make 0 in
+  let total =
+    Parallel.map_reduce ~domains:3 ~chunk:8 ~n:1000
+      ~worker:(fun _ ->
+        Atomic.incr created;
+        ref 0)
+      ~body:(fun scratch ~lo ~hi ->
+        scratch := hi - lo;
+        !scratch)
+      ~combine:( + ) 0
+  in
+  Alcotest.(check int) "every index counted once" 1000 total;
+  Alcotest.(check bool)
+    "at most one worker state per slot" true
+    (Atomic.get created <= 3)
+
+let test_map_reduce_empty_and_small () =
+  Alcotest.(check int) "n=0 returns init" 42
+    (Parallel.map_reduce ~domains:4 ~n:0
+       ~worker:(fun _ -> ())
+       ~body:(fun () ~lo:_ ~hi:_ -> 1)
+       ~combine:( + ) 42);
+  Alcotest.(check int) "n=1" 1
+    (Parallel.map_reduce ~domains:4 ~n:1
+       ~worker:(fun _ -> ())
+       ~body:(fun () ~lo ~hi -> hi - lo)
+       ~combine:( + ) 0)
+
+let test_map_reduce_exception () =
+  Alcotest.check_raises "body exception propagates through the pool"
+    (Boom 99)
+    (fun () ->
+      ignore
+        (Parallel.map_reduce ~domains:4 ~chunk:4 ~n:256
+           ~worker:(fun _ -> ())
+           ~body:(fun () ~lo ~hi -> if lo <= 99 && 99 < hi then raise (Boom 99) else 0)
+           ~combine:( + ) 0));
+  Alcotest.check_raises "worker-constructor exception propagates"
+    (Boom 1)
+    (fun () ->
+      ignore
+        (Parallel.map_reduce ~domains:4 ~chunk:4 ~n:256
+           ~worker:(fun slot -> if slot > 0 then raise (Boom 1))
+           ~body:(fun () ~lo ~hi -> hi - lo)
+           ~combine:( + ) 0))
+
+let test_parallel_for_covers () =
+  let out = Array.make 1000 (-1) in
+  (* Chunks are disjoint index ranges of [out].  gnrlint: allow-shared *)
+  Parallel.parallel_for ~domains:5 ~n:1000 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- i
+      done);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "index %d" i) i v)
+    out
+
+let test_nested_runs () =
+  (* map_reduce inside pool workers of an outer map: the inner runs must
+     complete (work helping prevents deadlock) and stay deterministic. *)
+  let reference = harmonic_sum ~domains:1 2000 in
+  let out =
+    Parallel.map ~domains:4
+      (fun _ -> harmonic_sum ~domains:3 2000)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "nested reduction equals sequential" true (v = reference))
+    out
+
 let suite =
   [
     Alcotest.test_case "map matches sequential" `Quick test_matches_sequential;
@@ -58,4 +174,11 @@ let suite =
     Alcotest.test_case "worker exception propagates" `Quick test_exception_propagation;
     Alcotest.test_case "GNRFET_DOMAINS override" `Quick test_env_override;
     Alcotest.test_case "map honours GNRFET_DOMAINS" `Quick test_env_override_map;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "map_reduce deterministic" `Quick test_map_reduce_deterministic;
+    Alcotest.test_case "map_reduce worker state" `Quick test_map_reduce_worker_state;
+    Alcotest.test_case "map_reduce empty/small" `Quick test_map_reduce_empty_and_small;
+    Alcotest.test_case "map_reduce exception" `Quick test_map_reduce_exception;
+    Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers;
+    Alcotest.test_case "nested parallel runs" `Quick test_nested_runs;
   ]
