@@ -14,8 +14,11 @@
                                comma-separated substrings (CI smoke runs
                                the table-free SCF kernels this way)
      GNRFET_BENCH_JSON=path    where to write the report
-                               (default BENCH_PR2.json)
+                               (default BENCH_PR3.json)
      GNRFET_DOMAINS=n          worker-pool width for the parallel runs
+     GNRFET_OBS=0              disable the observability counters (on by
+                               default in the bench harness; the snapshot
+                               is embedded in the report's "obs" section)
 
    The first full run generates the device-table cache (about 12 minutes
    on one core; `dune exec bin/gen_tables.exe` does the same ahead of
@@ -150,14 +153,48 @@ let run_energy_loop_comparison () =
       pairs
   end
 
+(* The CI smoke kernels (fig2a / fig5 / ablations) call Scf.solve directly
+   and never touch the on-disk table cache, so a report from a smoke run
+   would show zero cache activity.  Exercise the cache explicitly on a
+   deliberately tiny device/grid (a couple of SCF solves) against a
+   throwaway directory: the first get_many generates, the second is all
+   memory hits, and both land in the obs snapshot. *)
+let exercise_table_cache () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gnrfet_bench_obs.%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  with_env "GNRFET_TABLE_DIR" dir (fun () ->
+      let p =
+        {
+          (Params.default ~gnr_index:12 ()) with
+          Params.channel_length = 6e-9;
+          energy_step = 8e-3;
+          energy_margin = 0.3;
+        }
+      in
+      let grid =
+        { Iv_table.vg_min = 0.; vg_max = 0.4; n_vg = 2; vd_max = 0.3; n_vd = 2 }
+      in
+      ignore (Table_cache.get_many ~grid [ p ]);
+      ignore (Table_cache.get_many ~grid [ p ]));
+  (* Best-effort cleanup of the throwaway cache directory. *)
+  (try
+     Sys.readdir dir
+     |> Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+     Sys.rmdir dir
+   with Sys_error _ -> ())
+
 (* Hand-rolled JSON (no json dependency in the image): flat schema, one
-   object per kernel, documented in docs/PERF.md. *)
+   object per kernel plus the observability snapshot, documented in
+   docs/PERF.md and docs/OBS.md. *)
 let write_json path ~domains ~kernel_times ~pairs =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"gnrfet-bench-v1\",\n";
-  add "  \"pr\": 2,\n";
+  add "  \"schema\": \"gnrfet-bench-v2\",\n";
+  add "  \"pr\": 3,\n";
   add "  \"domains\": %d,\n" domains;
   add "  \"kernels\": [\n";
   List.iteri
@@ -175,7 +212,8 @@ let write_json path ~domains ~kernel_times ~pairs =
         name seq_ms par_ms speedup
         (if i = List.length pairs - 1 then "" else ","))
     pairs;
-  add "  ]\n";
+  add "  ],\n";
+  add "  \"obs\": %s\n" (Obs.to_json ~indent:"  " (Obs.snapshot ()));
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -183,11 +221,17 @@ let write_json path ~domains ~kernel_times ~pairs =
   Printf.printf "\nbench report written to %s\n%!" path
 
 let () =
+  (* Observability defaults on in the bench harness; GNRFET_OBS=0 opts
+     out (an explicit setting is honoured as-is via Obs.global's env
+     default). *)
+  if Sys.getenv_opt "GNRFET_OBS" = None then Obs.set_enabled Obs.global true;
   let fast = Sys.getenv_opt "GNRFET_BENCH_FAST" <> None in
   Printf.printf
     "GNRFET technology exploration - benchmark & reproduction harness\n";
   Printf.printf "device-table cache: %s\n%!" (Table_cache.cache_dir ());
   Printf.printf "domain pool width:  %d\n%!" (Parallel.num_domains ());
+  Printf.printf "observability:      %s\n%!"
+    (if Obs.enabled Obs.global then "on" else "off (GNRFET_OBS=0)");
   let t0 = Unix.gettimeofday () in
   if not fast then begin
     Printf.printf "\n== full reproduction of every paper table and figure ==\n%!";
@@ -214,10 +258,11 @@ let () =
   List.iter (fun (_, k) -> ignore (k ())) kernels;
   let kernel_times = run_benchmarks () in
   let pairs = run_energy_loop_comparison () in
+  exercise_table_cache ();
   let json_path =
     match Sys.getenv_opt "GNRFET_BENCH_JSON" with
     | Some p when p <> "" -> p
-    | Some _ | None -> "BENCH_PR2.json"
+    | Some _ | None -> "BENCH_PR3.json"
   in
   write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -12,9 +12,14 @@
      simulate    run a SPICE-dialect deck on the circuit engine
      roughness   edge-roughness transmission study (extension)
      ablations   design-choice ablation studies
-     latch-write dynamic latch write experiment (extension) *)
+     latch-write dynamic latch write experiment (extension)
+     obs-report  run a small instrumented workload, print the obs snapshot *)
 
 open Cmdliner
+
+(* Observability defaults on in the CLI (it is interactive tooling, not a
+   measurement-sensitive test run); GNRFET_OBS=0 opts out. *)
+let () = if Sys.getenv_opt "GNRFET_OBS" = None then Obs.set_enabled Obs.global true
 
 let index_arg =
   let doc = "A-GNR index N (dimer lines across the width)." in
@@ -320,6 +325,42 @@ let latch_write_cmd =
   Cmd.v (Cmd.info "latch-write" ~doc:"Dynamic latch write experiment")
     Term.(const run $ pulse_arg $ worst_arg)
 
+(* obs-report *)
+let obs_report_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of a table.")
+  in
+  let run index json =
+    (* A deliberately small instrumented workload: a short warm-started
+       I-V sweep on a reduced-length device touches the SCF, NEGF, Poisson
+       and domain-pool layers; energy_step/margin are coarsened so the
+       report runs in seconds. *)
+    let p =
+      {
+        (Params.default ~gnr_index:index ()) with
+        Params.channel_length = 6e-9;
+        energy_step = 8e-3;
+        energy_margin = 0.3;
+      }
+    in
+    let init = ref None in
+    Array.iter
+      (fun vg ->
+        let s = Scf.solve ?init:!init p ~vg ~vd:0.3 in
+        init := Some s.Scf.potential)
+      (Vec.linspace 0. 0.4 3);
+    let snap = Obs.snapshot () in
+    if json then print_string (Obs.to_json ~indent:"  " snap)
+    else Format.printf "%a@." Obs.pp snap;
+    if not (Obs.enabled Obs.global) then
+      prerr_endline
+        "note: observability is disabled (GNRFET_OBS=0); all metrics read zero"
+  in
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:"Run a small instrumented SCF workload and print the observability snapshot")
+    Term.(const run $ index_arg $ json_arg)
+
 let main =
   let info =
     Cmd.info "gnrfet_cli" ~version:"1.0.0"
@@ -328,6 +369,6 @@ let main =
   Cmd.group info
     [ bands_cmd; iv_cmd; vt_cmd; explore_cmd; tables_cmd; experiment_cmd;
       mc_cmd; export_cmd; simulate_cmd; roughness_cmd; ablations_cmd;
-      latch_write_cmd ]
+      latch_write_cmd; obs_report_cmd ]
 
 let () = exit (Cmd.eval main)

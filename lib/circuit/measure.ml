@@ -1,15 +1,20 @@
+let obs_crossings = Obs.Counter.make "measure.crossings"
+
 let crossings ~times ~values ~level ~rising =
   let n = Array.length times in
   if Array.length values <> n then invalid_arg "Measure.crossings: length mismatch";
   let out = ref [] in
+  let found = ref 0 in
   for k = 0 to n - 2 do
     let a = values.(k) -. level and b = values.(k + 1) -. level in
     let crosses = if rising then a < 0. && b >= 0. else a > 0. && b <= 0. in
     if crosses && b <> a then begin
       let t = times.(k) +. ((times.(k + 1) -. times.(k)) *. (-.a /. (b -. a))) in
+      incr found;
       out := t :: !out
     end
   done;
+  Obs.Counter.add obs_crossings !found;
   List.rev !out
 
 let delay_levels ~times ~input ~output ~in_level ~out_level ~input_rising =

@@ -173,6 +173,15 @@ let assemble ?vscale c x time gmin dyn =
 
 let debug = Sys.getenv_opt "GNRFET_MNA_DEBUG" <> None
 
+(* Circuit-level observability (docs/OBS.md).  Newton iterations are
+   counted across all homotopy rungs, so iterations-per-dc-solve out of a
+   snapshot reflects the true cost of hard bias points. *)
+let obs_dc_solves = Obs.Counter.make "mna.dc_solves"
+let obs_newton_iters = Obs.Counter.make "mna.newton_iterations"
+let obs_transient_steps = Obs.Counter.make "mna.transient_steps"
+let obs_transient_retries = Obs.Counter.make "mna.transient_retries"
+let obs_dc_time = Obs.Timer.make "mna.solve_dc"
+
 let has_nan a = Array.exists (fun v -> not (Float.is_finite v)) a
 
 let residual_norm ?vscale c x time gmin dyn =
@@ -184,6 +193,7 @@ let newton ?(max_iter = 80) ?(v_limit = 0.3) ?vscale c x0 time gmin dyn =
   if c.n_unknowns = 0 then Some !x
   else begin
     let rec loop it =
+      Obs.Counter.incr obs_newton_iters;
       let f, j = assemble ?vscale c !x time gmin dyn in
       let fnorm = Vec.norm_inf f in
       if Float.is_nan fnorm then begin
@@ -239,6 +249,8 @@ let newton ?(max_iter = 80) ?(v_limit = 0.3) ?vscale c x0 time gmin dyn =
   end
 
 let solve_dc ?x0 ?(time = 0.) net =
+  Obs.Counter.incr obs_dc_solves;
+  let t_dc = Obs.Timer.start obs_dc_time in
   let c = compile net in
   let x0 =
     match x0 with
@@ -307,6 +319,7 @@ let solve_dc ?x0 ?(time = 0.) net =
           end
       end)
   in
+  Obs.Timer.stop obs_dc_time t_dc;
   match result with
   | Some x -> expand c x time
   | None -> failwith "Mna.solve_dc: no convergence"
@@ -357,6 +370,7 @@ let transient ?x0 ?(dt_div = 4) net ~t_stop ~dt =
     | None -> None
   in
   for k = 1 to n_steps do
+    Obs.Counter.incr obs_transient_steps;
     let t_prev = times.(k - 1) and t_next = times.(k) in
     let v_start = voltages.(k - 1) in
     match advance !x v_start t_next (t_next -. t_prev) with
@@ -365,6 +379,7 @@ let transient ?x0 ?(dt_div = 4) net ~t_stop ~dt =
       voltages.(k) <- v'
     | None ->
       (* Retry with substeps. *)
+      Obs.Counter.incr obs_transient_retries;
       let h = (t_next -. t_prev) /. float_of_int dt_div in
       let xs = ref !x and vs = ref v_start in
       for sub = 1 to dt_div do

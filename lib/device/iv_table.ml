@@ -20,7 +20,9 @@ let default_grid =
 let grid_key g =
   Printf.sprintf "vg%g:%g:%d-vd%g:%d" g.vg_min g.vg_max g.n_vg g.vd_max g.n_vd
 
-let generate ?(grid = default_grid) ?(parallel = true) p =
+let generate ?(grid = default_grid) ?(parallel = true) ?obs p =
+  Obs.Span.run ?obs "iv_table.generate" @@ fun () ->
+  Obs.Counter.incr (Obs.Counter.make ?obs "iv_table.generates");
   let vg = Vec.linspace grid.vg_min grid.vg_max grid.n_vg in
   let vd = Vec.linspace 0. grid.vd_max grid.n_vd in
   let current = Array.make_matrix grid.n_vg grid.n_vd 0. in
@@ -33,7 +35,7 @@ let generate ?(grid = default_grid) ?(parallel = true) p =
       let init = ref !row_init in
       Array.iteri
         (fun ig vgv ->
-          let s = Scf.solve ?init:!init ~parallel p ~vg:vgv ~vd:vdv in
+          let s = Scf.solve ?init:!init ~parallel ?obs p ~vg:vgv ~vd:vdv in
           init := Some s.Scf.potential;
           if ig = 0 then row_init := Some s.Scf.potential;
           current.(ig).(jd) <- s.Scf.current;

@@ -29,12 +29,15 @@ val default_grid : grid_spec
     stored for VD >= 0; negative VDS is handled by the circuit model
     through source/drain exchange symmetry). *)
 
-val generate : ?grid:grid_spec -> ?parallel:bool -> Params.t -> t
+val generate : ?grid:grid_spec -> ?parallel:bool -> ?obs:Obs.t -> Params.t -> t
 (** Run the self-consistent solver over the grid (warm-starting each VG
     sweep from the previous bias point).  [parallel] (default true) is
     forwarded to {!Scf.solve}: callers fanning several devices out across
     the domain pool ({!Table_cache.get_many}) pass [~parallel:false] so
-    the inner energy loop stays sequential under the outer fan-out. *)
+    the inner energy loop stays sequential under the outer fan-out.
+    [obs] (default {!Obs.global}) is forwarded too; each generation runs
+    inside an [iv_table.generate] span and bumps [iv_table.generates]
+    (see docs/OBS.md). *)
 
 val current_at : t -> vg:float -> vd:float -> float
 (** Bilinear interpolation; requires [vd >= 0] (the circuit layer owns the

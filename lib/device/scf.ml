@@ -1,3 +1,11 @@
+type trace = {
+  step : int;
+  update_norm : float;
+  mixing_factor : float;
+  poisson_solves : int;
+  restarted : bool;
+}
+
 type solution = {
   vg : float;
   vd : float;
@@ -7,6 +15,7 @@ type solution = {
   site_charge : float array;
   iterations : int;
   residual : float;
+  trace : trace list;
 }
 
 let site_positions p =
@@ -57,7 +66,14 @@ let chains_for p =
   Array.map (fun m -> (m, sigma)) ms.Modespace.modes
 
 let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
-    ?(parallel = true) p ~vg ~vd =
+    ?(parallel = true) ?obs p ~vg ~vd =
+  Obs.Span.run ?obs "scf.solve" @@ fun () ->
+  let c_solves = Obs.Counter.make ?obs "scf.solves" in
+  let c_iters = Obs.Counter.make ?obs "scf.iterations" in
+  let c_charge = Obs.Counter.make ?obs "scf.charge_evals" in
+  let c_poisson = Obs.Counter.make ?obs "scf.poisson_solves" in
+  let h_iters = Obs.Histogram.make ?obs "scf.iterations" in
+  Obs.Counter.incr c_solves;
   let sites = site_positions p in
   let n = Array.length sites in
   let stack = stack_for p in
@@ -88,6 +104,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
   let w_eff = Params.effective_width p in
   (* Charge implied by a potential profile (summed over mode chains). *)
   let charge_of u =
+    Obs.Counter.incr c_charge;
     let total = Array.make n 0. in
     Array.iter
       (fun ((m : Modespace.mode), sigma) ->
@@ -97,7 +114,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
         let q =
-          Observables.site_charge ~eta:1.5e-3 ~parallel ~bias ~egrid
+          Observables.site_charge ~eta:1.5e-3 ~parallel ?obs ~bias ~egrid
             ~midgap:onsite
             (fun _ -> chain)
         in
@@ -107,8 +124,14 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
       modes;
     total
   in
-  (* Poisson update for a given charge. *)
+  (* Poisson update for a given charge.  [poisson_calls] feeds the
+     per-iteration trace entries (deltas around each SCF step); Stack2d is
+     a direct factorized solve, so "Poisson iterations" per SCF step is a
+     solve count, not an inner iteration count. *)
+  let poisson_calls = ref 0 in
   let poisson_of site_charge =
+    incr poisson_calls;
+    Obs.Counter.incr c_poisson;
     let sheet = Array.map (fun q -> q /. (dx *. w_eff)) site_charge in
     let u_grid = Stack2d.solve stack ~bc ~sheet_charge:sheet in
     Stack2d.plane_potential stack u_grid
@@ -143,7 +166,18 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
   (* If Anderson stops making progress (charge-feedback oscillation near
      strong inversion), restart it with heavier damping. *)
   let stall = ref 0 and best_res = ref infinity and slow = ref false in
+  (* Per-iteration convergence trace, collected unconditionally (it is a
+     solver result, not an obs metric): entry [k] carries the update norm
+     measured at iteration [k], the Poisson solves spent evaluating it and
+     the mixing factor applied toward iteration [k+1] (0. on the terminal
+     entry).  Derived purely from the deterministic iterates, so it is
+     identical sequential vs parallel. *)
+  let traces = ref [] in
+  let base_alpha =
+    match mixing with `Anderson -> 0.5 | `Linear alpha -> alpha
+  in
   let rec iterate u it best =
+    let p0 = !poisson_calls in
     let q = charge_of u in
     let u_implied = poisson_of q in
     let res = Vec.max_abs_diff u_implied u in
@@ -156,15 +190,29 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
       stall := 0
     end
     else incr stall;
-    if !stall > 6 && not !slow then begin
+    let restarted = !stall > 6 && not !slow in
+    if restarted then begin
       slow := true;
       Mixing.reset mixer
     end;
+    let record mixing_factor =
+      traces :=
+        {
+          step = it;
+          update_norm = res;
+          mixing_factor;
+          poisson_solves = !poisson_calls - p0;
+          restarted;
+        }
+        :: !traces
+    in
     if res <= tol || it >= max_iter then begin
+      record 0.;
       let u, q, res = match best with Some b -> b | None -> assert false in
       (u, q, it, res)
     end
     else begin
+      record (if !slow then 0.25 else base_alpha);
       let target = precondition u q u_implied in
       let u' =
         if !slow then Vec.add u (Vec.scale 0.25 (Vec.sub target u))
@@ -174,6 +222,8 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
     end
   in
   let u, q, iterations, residual = iterate u0 0 None in
+  Obs.Counter.add c_iters iterations;
+  Obs.Histogram.observe h_iters iterations;
   (* Terminal current of the converged device. *)
   let current =
     Array.fold_left
@@ -183,7 +233,9 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
           Array.init (n - 1) (fun i -> if i mod 2 = 0 then m.t1 else m.t2)
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
-        acc +. Observables.current ~eta:1.5e-3 ~parallel ~bias ~egrid (fun _ -> chain))
+        acc
+        +. Observables.current ~eta:1.5e-3 ~parallel ?obs ~bias ~egrid
+             (fun _ -> chain))
       0. modes
   in
   {
@@ -195,6 +247,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
     site_charge = q;
     iterations;
     residual;
+    trace = List.rev !traces;
   }
 
 let conduction_band_profile p sol =

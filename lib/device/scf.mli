@@ -7,6 +7,21 @@
     accelerated with Anderson mixing and supports warm starts from a
     neighbouring bias point (used heavily by the table sweeps). *)
 
+type trace = {
+  step : int;  (** SCF iteration index, 0-based *)
+  update_norm : float;  (** max-norm potential update at this step, V *)
+  mixing_factor : float;
+      (** damping applied toward the next iterate: the Anderson/linear
+          alpha, 0.25 after a stall restart, 0. on the terminal entry *)
+  poisson_solves : int;  (** Poisson solves spent evaluating this step *)
+  restarted : bool;  (** true on the step that triggered a stall restart *)
+}
+(** One entry of the per-iteration convergence trace.  The trace is part
+    of the solver result (collected whether or not observability is
+    enabled) and is derived purely from the deterministic iterates, so it
+    is bit-for-bit identical sequential vs parallel — the golden-trace
+    regression tests (test/test_golden_trace.ml) rely on this. *)
+
 type solution = {
   vg : float;
   vd : float;
@@ -16,6 +31,9 @@ type solution = {
   site_charge : float array;  (** per-site net charge, C *)
   iterations : int;
   residual : float;  (** final max-norm potential update, V *)
+  trace : trace list;
+      (** chronological, [iterations + 1] entries (one per SCF step
+          including the terminal one) *)
 }
 
 val site_positions : Params.t -> float array
@@ -30,6 +48,7 @@ val solve :
   ?init:float array ->
   ?mixing:[ `Anderson | `Linear of float ] ->
   ?parallel:bool ->
+  ?obs:Obs.t ->
   Params.t ->
   vg:float ->
   vd:float ->
@@ -44,4 +63,11 @@ val solve :
     domain pool; outer device-level fan-outs (table generation) pass
     [~parallel:false] so nesting does not oversubscribe the cores.  The
     solution is bit-for-bit identical either way (the energy reduction
-    is deterministic; see docs/PERF.md). *)
+    is deterministic; see docs/PERF.md).
+
+    {b Observability.}  Each call runs inside an [scf.solve] span and
+    bumps [scf.solves], [scf.iterations] (plus the iteration histogram),
+    [scf.charge_evals] and [scf.poisson_solves] in [?obs] (default
+    {!Obs.global}); the NEGF and Poisson layers underneath report their
+    own metrics.  All no-ops while the registry is disabled; the
+    {!trace} field is collected regardless.  See docs/OBS.md. *)

@@ -52,38 +52,49 @@ let store_file key table =
     Sys.rename tmp path
   with Sys_error _ | Unix.Unix_error _ -> ()
 
-let lookup ?grid p =
+(* Hit/miss accounting (docs/OBS.md): every [lookup] resolves to exactly
+   one of memory hit, disk hit or miss; [generates] counts cache-initiated
+   table generations.  A fresh [get] therefore reads as one miss, one
+   generate and (for later requests) memory hits only. *)
+let lookup ?grid ?obs p =
   let key = full_key ?grid p in
   match Mutex.protect memory_mutex (fun () -> Hashtbl.find_opt memory key) with
-  | Some t -> Some t
+  | Some t ->
+    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.memory_hits");
+    Some t
   | None -> begin
     match load_file key with
     | Some t ->
+      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.disk_hits");
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
       Some t
-    | None -> None
+    | None ->
+      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.misses");
+      None
   end
 
-let get ?grid p =
+let get ?grid ?obs p =
   let key = full_key ?grid p in
-  match lookup ?grid p with
+  match lookup ?grid ?obs p with
   | Some t -> t
   | None ->
-    let t = Iv_table.generate ?grid p in
+    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
+    let t = Iv_table.generate ?grid ?obs p in
     Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
     store_file key t;
     t
 
-let get_many ?grid ps =
+let get_many ?grid ?obs ps =
   let missing =
-    List.filter (fun p -> Option.is_none (lookup ?grid p)) ps
+    List.filter (fun p -> Option.is_none (lookup ?grid ?obs p)) ps
   in
   if missing <> [] then begin
     (* Persist each table as soon as it is generated so an interrupted
        batch keeps its completed work. *)
     let generate_and_store ~parallel p =
       let key = full_key ?grid p in
-      let t = Iv_table.generate ?grid ~parallel p in
+      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
+      let t = Iv_table.generate ?grid ~parallel ?obs p in
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
       store_file key t;
       ()
@@ -99,4 +110,4 @@ let get_many ?grid ps =
            (Array.of_list missing))
     else List.iter (generate_and_store ~parallel:true) missing
   end;
-  List.map (fun p -> get ?grid p) ps
+  List.map (fun p -> get ?grid ?obs p) ps

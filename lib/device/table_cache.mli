@@ -7,18 +7,28 @@
 
 val cache_dir : unit -> string
 
-val lookup : ?grid:Iv_table.grid_spec -> Params.t -> Iv_table.t option
-(** Load from memory or disk; [None] when absent or unreadable. *)
+val lookup : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t option
+(** Load from memory or disk; [None] when absent or unreadable.  Every
+    call bumps exactly one of [table_cache.memory_hits],
+    [table_cache.disk_hits] or [table_cache.misses] in [?obs] (default
+    {!Obs.global}); see docs/OBS.md. *)
 
-val get : ?grid:Iv_table.grid_spec -> Params.t -> Iv_table.t
-(** Load or generate (and persist). Thread through all experiment code. *)
+val get : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t
+(** Load or generate (and persist). Thread through all experiment code.
+    A generation bumps [table_cache.generates] on top of the {!lookup}
+    miss. *)
 
-val get_many : ?grid:Iv_table.grid_spec -> Params.t list -> Iv_table.t list
+val get_many :
+  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t list -> Iv_table.t list
 (** Like {!get} for a batch.  Two or more missing tables are generated in
     parallel across devices with the per-device energy loop forced
     sequential; a single missing table is generated with the energy-level
     parallelism enabled instead, so the pool is saturated either way
-    without oversubscribing (see docs/PERF.md). *)
+    without oversubscribing (see docs/PERF.md).  Counter accounting per
+    request: a missing device costs one miss + one generate (plus one
+    memory hit when the result list is assembled); a batch whose tables
+    all exist costs memory hits only — the
+    [test/test_device.ml] cache-accounting test pins this down. *)
 
 val clear_memory : unit -> unit
 (** Drop the in-memory cache (tests). *)

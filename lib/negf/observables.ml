@@ -16,7 +16,14 @@ let energy_grid ~lo ~hi ~de =
 
 let domains_of parallel = if parallel then None else Some 1
 
-let transmission_spectrum ?eta ?(parallel = true) ~egrid chain_at =
+(* Per-energy-grid instrumentation: one timer start/stop pair per
+   observable call (never per energy point) and per-chunk counter adds,
+   so the energy loop itself stays allocation-free; energies/sec is the
+   counter divided by the timer (docs/OBS.md). *)
+let transmission_spectrum ?eta ?(parallel = true) ?obs ~egrid chain_at =
+  let tm = Obs.Timer.make ?obs "negf.transmission_spectrum" in
+  let c_energies = Obs.Counter.make ?obs "rgf.transmission_energies" in
+  let t0 = Obs.Timer.start tm in
   let ne = Array.length egrid in
   let out = Array.make ne 0. in
   (* Chunks write disjoint index ranges of [out].  gnrlint: allow-shared *)
@@ -24,14 +31,19 @@ let transmission_spectrum ?eta ?(parallel = true) ~egrid chain_at =
     (Parallel.map_reduce ?domains:(domains_of parallel) ~n:ne
        ~worker:(fun _ -> Rgf.workspace ())
        ~body:(fun ws ~lo ~hi ->
+         Obs.Counter.add c_energies (hi - lo);
          for k = lo to hi - 1 do
            out.(k) <- Rgf.transmission_into ?eta ws (chain_at egrid.(k)) egrid.(k)
          done)
        ~combine:(fun () () -> ())
        ());
+  Obs.Timer.stop tm t0;
   out
 
-let current ?eta ?(parallel = true) ~bias ~egrid chain_at =
+let current ?eta ?(parallel = true) ?obs ~bias ~egrid chain_at =
+  let tm = Obs.Timer.make ?obs "negf.current" in
+  let c_energies = Obs.Counter.make ?obs "rgf.transmission_energies" in
+  let t0 = Obs.Timer.start tm in
   let { mu_s; mu_d; kt } = bias in
   let integrand ws k =
     let e = egrid.(k) in
@@ -45,6 +57,7 @@ let current ?eta ?(parallel = true) ~bias ~egrid chain_at =
       ~n:(Array.length egrid - 1)
       ~worker:(fun _ -> Rgf.workspace ())
       ~body:(fun ws ~lo ~hi ->
+        Obs.Counter.add c_energies (hi - lo + 1);
         let acc = ref 0. in
         let prev = ref (integrand ws lo) in
         for k = lo to hi - 1 do
@@ -55,6 +68,7 @@ let current ?eta ?(parallel = true) ~bias ~egrid chain_at =
         !acc)
       ~combine:( +. ) 0.
   in
+  Obs.Timer.stop tm t0;
   Const.g0 *. integral
 
 (* Per-worker scratch for the charge integration: the RGF workspace plus
@@ -66,7 +80,10 @@ type charge_scratch = {
   mutable s_cur : float array;
 }
 
-let site_charge ?eta ?(parallel = true) ~bias ~egrid ~midgap chain_at =
+let site_charge ?eta ?(parallel = true) ?obs ~bias ~egrid ~midgap chain_at =
+  let tm = Obs.Timer.make ?obs "negf.site_charge" in
+  let c_energies = Obs.Counter.make ?obs "rgf.spectra_energies" in
+  let t0 = Obs.Timer.start tm in
   let { mu_s; mu_d; kt } = bias in
   let chain0 = chain_at egrid.(0) in
   let n = Array.length chain0.Rgf.onsite in
@@ -102,6 +119,8 @@ let site_charge ?eta ?(parallel = true) ~bias ~egrid ~midgap chain_at =
       ~worker:(fun _ ->
         { ws = Rgf.workspace ~hint:n (); s_prev = Array.make n 0.; s_cur = Array.make n 0. })
       ~body:(fun scratch ~lo ~hi ->
+        (* One boundary sample plus one per interval (docs/OBS.md). *)
+        Obs.Counter.add c_energies (hi - lo + 1);
         let electrons = Array.make n 0. and holes = Array.make n 0. in
         sample_into scratch scratch.s_prev lo;
         for k = lo to hi - 1 do
@@ -125,6 +144,7 @@ let site_charge ?eta ?(parallel = true) ~bias ~egrid ~midgap chain_at =
         (ea, ha))
       (Array.make n 0., Array.make n 0.)
   in
+  Obs.Timer.stop tm t0;
   (* Spin degeneracy 2; 2π spectral normalization; electrons negative. *)
   let scale = 2. *. Const.q /. (2. *. Float.pi) in
   Array.init n (fun i -> -.scale *. (electrons.(i) -. holes.(i)))

@@ -9,7 +9,17 @@
     [GNRFET_DOMAINS] setting and [?parallel:false] reproduces the
     parallel result exactly (see docs/PERF.md).  Pass [~parallel:false]
     from code that is already running under an outer parallel fan-out
-    (device-level table generation) to avoid oversubscription. *)
+    (device-level table generation) to avoid oversubscription.
+
+    {b Observability.}  Each observable times itself as one wall-clock
+    interval ([negf.site_charge], [negf.current],
+    [negf.transmission_spectrum]) and counts the energy points swept
+    ([rgf.spectra_energies] for the charge integration,
+    [rgf.transmission_energies] for the current/spectrum sweeps), so
+    energies-per-second falls out of the snapshot.  Metrics land in
+    [?obs] (default {!Obs.global}); counters are bumped once per chunk,
+    never per energy point, and everything is a no-op while the registry
+    is disabled.  See docs/OBS.md. *)
 
 type bias = {
   mu_s : float;  (** source electro-chemical potential, eV *)
@@ -24,6 +34,7 @@ val energy_grid : lo:float -> hi:float -> de:float -> float array
 val current :
   ?eta:float ->
   ?parallel:bool ->
+  ?obs:Obs.t ->
   bias:bias ->
   egrid:float array ->
   (float -> Rgf.chain) ->
@@ -39,6 +50,7 @@ val current :
 val site_charge :
   ?eta:float ->
   ?parallel:bool ->
+  ?obs:Obs.t ->
   bias:bias ->
   egrid:float array ->
   midgap:float array ->
@@ -54,6 +66,7 @@ val site_charge :
 val transmission_spectrum :
   ?eta:float ->
   ?parallel:bool ->
+  ?obs:Obs.t ->
   egrid:float array ->
   (float -> Rgf.chain) ->
   float array

@@ -38,10 +38,30 @@ let pool =
     stop = false;
   }
 
+(* Pool observability (docs/OBS.md): how many runs hit the pool, how the
+   executed tasks spread across workers vs the helping caller, and how
+   long tasks sat queued before a domain picked them up.  Counters only —
+   never anything that could perturb scheduling or results. *)
+let obs_runs = Obs.Counter.make "parallel.runs"
+let obs_pool_tasks = Obs.Counter.make "parallel.pool_tasks"
+let obs_helped_tasks = Obs.Counter.make "parallel.helped_tasks"
+let obs_queue_wait = Obs.Timer.make "parallel.queue_wait"
+
+(* Stamp a task with its enqueue time so the executing domain can record
+   the queue wait; identity when the registry is disabled. *)
+let with_queue_stamp task =
+  if not (Obs.enabled Obs.global) then task
+  else begin
+    let t_enq = Obs.now () in
+    fun () ->
+      Obs.Timer.record obs_queue_wait (Obs.now () -. t_enq);
+      task ()
+  end
+
 (* Tasks are wrapped at submission so they never raise (run_slots folds
    exceptions into per-run state); the worker loop therefore needs no
    catch-all of its own. *)
-let rec worker_loop () =
+let rec worker_loop tasks_done =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.tasks && not pool.stop do
     Condition.wait pool.wake pool.mutex
@@ -51,7 +71,9 @@ let rec worker_loop () =
     let task = Queue.pop pool.tasks in
     Mutex.unlock pool.mutex;
     task ();
-    worker_loop ()
+    Obs.Counter.incr tasks_done;
+    Obs.Counter.incr obs_pool_tasks;
+    worker_loop tasks_done
   end
 
 let shutdown_pool () =
@@ -68,13 +90,15 @@ let () = at_exit shutdown_pool
 
 (* Workers communicate only through the mutex-protected queue; submitted
    tasks own disjoint result slots.  gnrlint: allow-shared *)
-let spawn_worker () = Domain.spawn worker_loop
+let spawn_worker idx =
+  let tasks_done = Obs.Counter.make (Printf.sprintf "parallel.worker.%d.tasks" idx) in
+  Domain.spawn (fun () -> worker_loop tasks_done)
 
 let ensure_workers n =
   Mutex.lock pool.mutex;
   while pool.spawned < n && not pool.stop do
     pool.spawned <- pool.spawned + 1;
-    pool.handles <- spawn_worker () :: pool.handles
+    pool.handles <- spawn_worker (pool.spawned - 1) :: pool.handles
   done;
   Mutex.unlock pool.mutex
 
@@ -85,6 +109,7 @@ let run_slots ~slots job =
   if slots <= 1 then job 0
   else begin
     ensure_workers (slots - 1);
+    Obs.Counter.incr obs_runs;
     let remaining = ref slots in
     let failures = ref [] in
     let wrapped slot () =
@@ -100,7 +125,7 @@ let run_slots ~slots job =
     in
     Mutex.lock pool.mutex;
     for s = 1 to slots - 1 do
-      Queue.push (wrapped s) pool.tasks
+      Queue.push (with_queue_stamp (wrapped s)) pool.tasks
     done;
     Condition.broadcast pool.wake;
     Mutex.unlock pool.mutex;
@@ -114,6 +139,7 @@ let run_slots ~slots job =
           let task = Queue.pop pool.tasks in
           Mutex.unlock pool.mutex;
           task ();
+          Obs.Counter.incr obs_helped_tasks;
           Mutex.lock pool.mutex;
           wait ()
         end

@@ -14,7 +14,16 @@
     order.  A [body] whose chunk result is a pure function of [(lo, hi)]
     (per-worker scratch reuse aside) therefore produces bit-for-bit
     identical reductions for every [GNRFET_DOMAINS] setting, including
-    the sequential [domains = 1] path.  See docs/PERF.md. *)
+    the sequential [domains = 1] path.  See docs/PERF.md.
+
+    {b Observability.}  The pool reports into {!Obs.global} (counters
+    only, so scheduling and results are never perturbed):
+    [parallel.runs] (pool-backed batches), [parallel.pool_tasks] /
+    [parallel.worker.<i>.tasks] (tasks executed by pool workers, total
+    and per worker), [parallel.helped_tasks] (tasks a waiting caller
+    executed itself) and the [parallel.queue_wait] timer (time tasks
+    sat queued before a domain picked them up).  All are no-ops while
+    the registry is disabled; see docs/OBS.md. *)
 
 val num_domains : unit -> int
 (** Worker count: [max 1 (recommended_domain_count () - 1)], overridable

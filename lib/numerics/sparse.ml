@@ -62,6 +62,25 @@ let diagonal m =
   done;
   d
 
+exception No_convergence of { solver : string; iterations : int; residual : float }
+
+let () =
+  Printexc.register_printer (function
+    | No_convergence { solver; iterations; residual } ->
+      Some
+        (Printf.sprintf
+           "Sparse.No_convergence(%s: %d iterations, relative residual %.3e)"
+           solver iterations residual)
+    | _ -> None)
+
+let cg_calls = Obs.Counter.make "sparse.cg.calls"
+let cg_iters = Obs.Counter.make "sparse.cg.iterations"
+let cg_failures = Obs.Counter.make "sparse.cg.no_convergence"
+let cg_hist = Obs.Histogram.make "sparse.cg.iterations"
+let sor_calls = Obs.Counter.make "sparse.sor.calls"
+let sor_iters = Obs.Counter.make "sparse.sor.iterations"
+let sor_failures = Obs.Counter.make "sparse.sor.no_convergence"
+
 let cg ?max_iter ?(tol = 1e-10) ?x0 m b =
   let n = m.n in
   let max_iter = match max_iter with Some v -> v | None -> 4 * n in
@@ -73,15 +92,23 @@ let cg ?max_iter ?(tol = 1e-10) ?x0 m b =
   let p = Array.copy z in
   let rz = ref (Vec.dot r z) in
   let bnorm = Float.max (Vec.norm2 b) Tol.underflow_guard in
+  Obs.Counter.incr cg_calls;
+  let finish it =
+    Obs.Counter.add cg_iters it;
+    Obs.Histogram.observe cg_hist it
+  in
   let rec loop it =
-    if Vec.norm2 r /. bnorm <= tol then (x, it)
-    else if it >= max_iter then
-      failwith
-        (Printf.sprintf
-           "Sparse.cg: did not converge after %d iterations (relative residual %.3e, tol %.3e)"
-           it
-           (Vec.norm2 r /. bnorm)
-           tol)
+    if Vec.norm2 r /. bnorm <= tol then begin
+      finish it;
+      (x, it)
+    end
+    else if it >= max_iter then begin
+      finish it;
+      Obs.Counter.incr cg_failures;
+      raise
+        (No_convergence
+           { solver = "cg"; iterations = it; residual = Vec.norm2 r /. bnorm })
+    end
     else begin
       let ap = mul_vec m p in
       let alpha = !rz /. Vec.dot p ap in
@@ -106,13 +133,19 @@ let sor ?(omega = 1.7) ?max_iter ?(tol = 1e-10) ?x0 m b =
   let d = diagonal m in
   let bnorm = Float.max (Vec.norm2 b) Tol.underflow_guard in
   let residual_norm () = Vec.norm2 (Vec.sub b (mul_vec m x)) /. bnorm in
+  Obs.Counter.incr sor_calls;
   let rec loop it =
-    if residual_norm () <= tol then (x, it)
-    else if it >= max_iter then
-      failwith
-        (Printf.sprintf
-           "Sparse.sor: did not converge after %d iterations (relative residual %.3e, tol %.3e, omega %g)"
-           it (residual_norm ()) tol omega)
+    if residual_norm () <= tol then begin
+      Obs.Counter.add sor_iters it;
+      (x, it)
+    end
+    else if it >= max_iter then begin
+      Obs.Counter.add sor_iters it;
+      Obs.Counter.incr sor_failures;
+      raise
+        (No_convergence
+           { solver = "sor"; iterations = it; residual = residual_norm () })
+    end
     else begin
       for i = 0 to n - 1 do
         let sigma = ref 0. in

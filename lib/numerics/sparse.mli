@@ -28,6 +28,14 @@ val mul_vec : t -> float array -> float array
 val diagonal : t -> float array
 (** Diagonal entries (0. where absent). *)
 
+exception No_convergence of { solver : string; iterations : int; residual : float }
+(** Raised by {!cg} and {!sor} when the iteration cap is reached:
+    [solver] is ["cg"] or ["sor"], [iterations] the count performed and
+    [residual] the relative residual at that point.  Typed so SCF
+    drivers can catch and recover (relax the tolerance, switch solver)
+    without string matching; a printer is registered with
+    [Printexc]. *)
+
 val cg :
   ?max_iter:int ->
   ?tol:float ->
@@ -36,9 +44,11 @@ val cg :
   float array ->
   float array * int
 (** Jacobi-preconditioned conjugate gradient for symmetric positive-definite
-    systems. Returns the solution and iterations used; raises [Failure] if
-    the tolerance (relative residual, default [1e-10]) is not reached in
-    [max_iter] (default [4 * n]) iterations. *)
+    systems. Returns the solution and iterations used; raises
+    {!No_convergence} if the tolerance (relative residual, default
+    [1e-10]) is not reached in [max_iter] (default [4 * n]) iterations.
+    Instrumented: bumps the [sparse.cg.*] counters and iteration
+    histogram in {!Obs.global} (see docs/OBS.md). *)
 
 val sor :
   ?omega:float ->
@@ -49,4 +59,5 @@ val sor :
   float array ->
   float array * int
 (** Successive over-relaxation (default [omega = 1.7]); same failure
-    contract as {!cg}.  Intended for diagnostics and tests. *)
+    contract as {!cg} ([sparse.sor.*] counters).  Intended for
+    diagnostics and tests. *)

@@ -50,7 +50,13 @@ let make ~nx ~ny ~nz ~spacing ~eps_r =
 
 type charge = { ix : int; iy : int; iz : int; coulombs : float }
 
+let obs_solves = Obs.Counter.make "poisson3d.solves"
+let obs_cg_iters = Obs.Counter.make "poisson3d.cg_iterations"
+let obs_solve_time = Obs.Timer.make "poisson3d.solve"
+
 let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
+  Obs.Counter.incr obs_solves;
+  let t0 = Obs.Timer.start obs_solve_time in
   let { nx; ny; nz; spacing; matrix } = t in
   let mx = nx - 2 and my = ny - 2 and mz = nz - 2 in
   let idx i j k = (((i - 1) * my) + (j - 1)) * mz + (k - 1) in
@@ -91,12 +97,18 @@ let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
       done
     done
   end;
-  let x, _ = Sparse.cg ~tol ~max_iter:(20 * mx * my * mz) matrix rhs in
-  Array.init nx (fun i ->
-      Array.init ny (fun j ->
-          Array.init nz (fun k ->
-              if i = 0 || i = nx - 1 || j = 0 || j = ny - 1 || k = 0 || k = nz - 1
-              then boundary
-              else x.(idx i j k))))
+  let x, iters = Sparse.cg ~tol ~max_iter:(20 * mx * my * mz) matrix rhs in
+  Obs.Counter.add obs_cg_iters iters;
+  let u =
+    Array.init nx (fun i ->
+        Array.init ny (fun j ->
+            Array.init nz (fun k ->
+                if i = 0 || i = nx - 1 || j = 0 || j = ny - 1 || k = 0
+                   || k = nz - 1
+                then boundary
+                else x.(idx i j k))))
+  in
+  Obs.Timer.stop obs_solve_time t0;
+  u
 
 let line_profile u ~iy ~iz = Array.map (fun plane -> plane.(iy).(iz)) u

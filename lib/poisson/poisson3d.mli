@@ -24,7 +24,10 @@ val solve :
   ?tol:float -> ?boundary:float -> t -> charges:charge list -> float array array array
 (** Node potentials [u.(ix).(iy).(iz)] in volts ([u = -V] mid-gap
     convention, so a negative charge produces a positive [u] bump).
-    Conjugate-gradient solution; raises [Failure] on non-convergence. *)
+    Conjugate-gradient solution; raises {!Sparse.No_convergence} if the
+    CG iteration cap is hit.  Instrumented: bumps [poisson3d.solves],
+    [poisson3d.cg_iterations] and the [poisson3d.solve] timer in
+    {!Obs.global} (see docs/OBS.md). *)
 
 val line_profile :
   float array array array -> iy:int -> iz:int -> float array

@@ -117,7 +117,14 @@ let dirichlet_value bc = function
   | D_bottom -> bc.bottom
   | D_top -> bc.top
 
+(* Direct (factorized banded) solver, so there is no iteration count to
+   report — just how often SCF calls it and what each solve costs. *)
+let obs_solves = Obs.Counter.make "stack2d.solves"
+let obs_solve_time = Obs.Timer.make "stack2d.solve"
+
 let solve t ~bc ~sheet_charge =
+  Obs.Counter.incr obs_solves;
+  let t0 = Obs.Timer.start obs_solve_time in
   let nx = nx t and nz = nz t in
   if Array.length sheet_charge <> nx - 2 then
     invalid_arg "Stack2d.solve: sheet_charge must have nx-2 entries";
@@ -155,13 +162,17 @@ let solve t ~bc ~sheet_charge =
     done
   done;
   let x = Banded.solve t.matrix rhs in
-  Array.init nx (fun i ->
-      Array.init nz (fun j ->
-          match t.dirichlet_of.(i).(j) with
-          | Some d -> dirichlet_value bc d
-          | None ->
-            let k = t.unknown_of.(i).(j) in
-            if k >= 0 then x.(k) else 0.))
+  let u =
+    Array.init nx (fun i ->
+        Array.init nz (fun j ->
+            match t.dirichlet_of.(i).(j) with
+            | Some d -> dirichlet_value bc d
+            | None ->
+              let k = t.unknown_of.(i).(j) in
+              if k >= 0 then x.(k) else 0.))
+  in
+  Obs.Timer.stop obs_solve_time t0;
+  u
 
 let plane_potential t u =
   let nx = nx t in

@@ -46,7 +46,10 @@ val nz : t -> int
 val solve : t -> bc:bc -> sheet_charge:float array -> float array array
 (** [solve t ~bc ~sheet_charge] where [sheet_charge.(i)] is the sheet
     density (C/m²) under interior x-node [i+1] (length [nx-2]); returns the
-    full node potential [u.(i).(j)] in volts including boundary values. *)
+    full node potential [u.(i).(j)] in volts including boundary values.
+    Instrumented: bumps [stack2d.solves] and the [stack2d.solve] timer in
+    {!Obs.global} (a direct factorized solve, so there is no iteration
+    metric; see docs/OBS.md). *)
 
 val plane_potential : t -> float array array -> float array
 (** Potential along the sheet row at the interior x nodes (length

@@ -1,0 +1,53 @@
+(* Golden-trace generator for the SCF convergence regression suite.
+
+   Writes test/golden/scf_n12.trace and test/golden/scf_n15.trace: the
+   per-iteration convergence trace of Scf.solve on the two fixed reduced
+   devices that test/test_golden_trace.ml checks against.
+
+   Run from the repository root after an INTENTIONAL solver change:
+
+     dune exec test/gen_golden.exe
+
+   then inspect the diff of test/golden/*.trace before committing — a
+   changed trace is a changed solver, and the diff is the review artifact.
+
+   The device definitions here must match golden_device in
+   test/test_golden_trace.ml (a 6 nm channel with the coarse test energy
+   grid, i.e. Support.tiny_device). *)
+
+let golden_device gnr_index =
+  {
+    (Params.default ~gnr_index ()) with
+    Params.channel_length = 6e-9;
+    energy_step = 8e-3;
+    energy_margin = 0.3;
+  }
+
+let vg = 0.4
+let vd = 0.3
+
+let write gnr_index path =
+  let p = golden_device gnr_index in
+  let s = Scf.solve ~parallel:false p ~vg ~vd in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "# gnrfet golden SCF convergence trace\n";
+  out "# device: gnr_index=%d channel_length=6e-9 energy_step=8e-3 energy_margin=0.3\n"
+    gnr_index;
+  out "# bias: vg=%g vd=%g (solver defaults: tol=1e-3, Anderson mixing)\n" vg vd;
+  out "# regenerate: dune exec test/gen_golden.exe   (from the repo root)\n";
+  out "# columns: step update_norm mixing poisson restarted\n";
+  out "iterations %d\n" s.Scf.iterations;
+  List.iter
+    (fun (tr : Scf.trace) ->
+      out "step %d %.17g %.17g %d %d\n" tr.Scf.step tr.Scf.update_norm
+        tr.Scf.mixing_factor tr.Scf.poisson_solves
+        (if tr.Scf.restarted then 1 else 0))
+    s.Scf.trace;
+  close_out oc;
+  Printf.printf "wrote %s (%d iterations, final residual %.3g V)\n%!" path
+    s.Scf.iterations s.Scf.residual
+
+let () =
+  write 12 "test/golden/scf_n12.trace";
+  write 15 "test/golden/scf_n15.trace"

@@ -203,6 +203,50 @@ let test_scf_parallel_equivalence () =
       check_same "GNRFET_DOMAINS=5"
         (Scf.solve ~parallel:true tiny ~vg:0.4 ~vd:0.3))
 
+let test_table_cache_hit_miss_accounting () =
+  (* Satellite of the observability PR: the second identical get_many
+     must be 100% cache hits — zero misses, zero Iv_table generations —
+     and the obs counters are the proof. *)
+  with_temp_cache (fun () ->
+      let old = Obs.enabled Obs.global in
+      Obs.set_enabled Obs.global true;
+      Fun.protect ~finally:(fun () -> Obs.set_enabled Obs.global old)
+      @@ fun () ->
+      let devices = [ tiny; tiny_device ~gnr_index:9 () ] in
+      let read name = Obs.counter_value name in
+      let snap () =
+        ( read "table_cache.memory_hits",
+          read "table_cache.disk_hits",
+          read "table_cache.misses",
+          read "table_cache.generates",
+          read "iv_table.generates" )
+      in
+      let mh0, dh0, m0, g0, ivg0 = snap () in
+      let first = Table_cache.get_many ~grid:tiny_grid devices in
+      let mh1, dh1, m1, g1, ivg1 = snap () in
+      (* Fresh batch: one miss + one generate per device, plus one memory
+         hit each when the result list is assembled. *)
+      Alcotest.(check int) "first: misses" 2 (m1 - m0);
+      Alcotest.(check int) "first: cache generates" 2 (g1 - g0);
+      Alcotest.(check int) "first: iv_table generates" 2 (ivg1 - ivg0);
+      Alcotest.(check int) "first: disk hits" 0 (dh1 - dh0);
+      Alcotest.(check int) "first: memory hits" 2 (mh1 - mh0);
+      let second = Table_cache.get_many ~grid:tiny_grid devices in
+      let mh2, dh2, m2, g2, ivg2 = snap () in
+      (* Identical request: every lookup is a memory hit (two per device:
+         the missing-filter probe and the result-assembly get). *)
+      Alcotest.(check int) "second: zero misses" 0 (m2 - m1);
+      Alcotest.(check int) "second: zero cache generates" 0 (g2 - g1);
+      Alcotest.(check int) "second: zero iv_table generates" 0 (ivg2 - ivg1);
+      Alcotest.(check int) "second: zero disk hits" 0 (dh2 - dh1);
+      Alcotest.(check int) "second: memory hits" 4 (mh2 - mh1);
+      (* And the cached tables are the same values. *)
+      List.iter2
+        (fun (a : Iv_table.t) (b : Iv_table.t) ->
+          approx "same table values" a.Iv_table.current.(3).(2)
+            b.Iv_table.current.(3).(2))
+        first second)
+
 let test_params_cache_key_stability () =
   let a = Params.cache_key (Params.default ()) in
   let b = Params.cache_key (Params.default ()) in
@@ -227,6 +271,8 @@ let suite =
     Alcotest.test_case "vt from table" `Quick test_vt_extract_from_table;
     Alcotest.test_case "table cache roundtrip" `Quick test_table_cache_roundtrip;
     Alcotest.test_case "table cache device keying" `Quick test_table_cache_distinguishes_devices;
+    Alcotest.test_case "table cache hit/miss accounting" `Quick
+      test_table_cache_hit_miss_accounting;
     Alcotest.test_case "cache key stability" `Quick test_params_cache_key_stability;
     Alcotest.test_case "scf parallel equivalence" `Quick test_scf_parallel_equivalence;
   ]

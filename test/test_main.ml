@@ -5,10 +5,12 @@ let () =
       ("numerics:linalg", Test_numerics_linalg.suite);
       ("numerics:interp+contour", Test_numerics_interp.suite);
       ("numerics:parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("physics+gnr", Test_gnr.suite);
       ("negf", Test_negf.suite);
       ("poisson", Test_poisson.suite);
       ("device", Test_device.suite);
+      ("device:golden-trace", Test_golden_trace.suite);
       ("circuit", Test_circuit.suite);
       ("cmos", Test_cmos.suite);
       ("core", Test_core.suite);

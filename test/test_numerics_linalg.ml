@@ -206,6 +206,28 @@ let test_sparse_sor () =
   let x, _ = Sparse.sor ~tol:1e-11 a b in
   approx ~eps:1e-7 "sor solution" 0. (Vec.max_abs_diff x x_true)
 
+let test_sparse_no_convergence_typed () =
+  (* An unreachable tolerance must raise the typed exception with the
+     iteration cap and the achieved residual — not a bare Failure. *)
+  let n = 30 in
+  let a = laplacian_1d n in
+  let b = Sparse.mul_vec a (random_vector n) in
+  (* The default 1e-10 tolerance is unreachable in so few iterations. *)
+  (match Sparse.cg ~max_iter:2 a b with
+  | exception Sparse.No_convergence { solver; iterations; residual } ->
+    Alcotest.(check string) "cg solver tag" "cg" solver;
+    Alcotest.(check int) "cg iterations = cap" 2 iterations;
+    Alcotest.(check bool) "cg residual recorded" true
+      (Float.is_finite residual && residual > 0.)
+  | _ -> Alcotest.fail "cg: expected No_convergence");
+  match Sparse.sor ~max_iter:3 a b with
+  | exception Sparse.No_convergence { solver; iterations; residual } ->
+    Alcotest.(check string) "sor solver tag" "sor" solver;
+    Alcotest.(check int) "sor iterations = cap" 3 iterations;
+    Alcotest.(check bool) "sor residual recorded" true
+      (Float.is_finite residual && residual > 0.)
+  | _ -> Alcotest.fail "sor: expected No_convergence"
+
 let test_sparse_builder_duplicates () =
   let b = Sparse.Builder.create 2 in
   Sparse.Builder.add b 0 0 1.;
@@ -234,5 +256,7 @@ let suite =
     Alcotest.test_case "banded errors" `Quick test_banded_errors;
     Alcotest.test_case "sparse cg" `Quick test_sparse_cg;
     Alcotest.test_case "sparse sor" `Quick test_sparse_sor;
+    Alcotest.test_case "sparse typed no-convergence" `Quick
+      test_sparse_no_convergence_typed;
     Alcotest.test_case "sparse builder duplicates" `Quick test_sparse_builder_duplicates;
   ]
