@@ -58,6 +58,26 @@ let all_kernels : (string * (unit -> float)) list =
         (Roughness.transmission_study ~realizations:10 ~n_sites:80 ~gnr_index:12
            ~sigma:0.05 ~corr_sites:5 ())
           .Roughness.mean_transmission );
+    (* Price of one full escalation (injected rung-1 failure + damped
+       restart) relative to the plain SCF solve the other kernels time;
+       the campaign is scoped so nothing stays armed between kernels. *)
+    ( "robust:scf-ladder-recovery",
+      fun () ->
+        let p =
+          {
+            (Params.default ~gnr_index:12 ()) with
+            Params.channel_length = 6e-9;
+            energy_step = 8e-3;
+            energy_margin = 0.3;
+          }
+        in
+        let o =
+          Fault.with_spec "scf.charge#1" (fun () ->
+              Robust.Scf.solve_robust ~parallel:false p ~vg:0.4 ~vd:0.3)
+        in
+        match o.Scf_robust.solution with
+        | Some s -> s.Scf.current
+        | None -> 0. );
   ]
 
 let kernels =

@@ -13,7 +13,10 @@
      roughness   edge-roughness transmission study (extension)
      ablations   design-choice ablation studies
      latch-write dynamic latch write experiment (extension)
-     obs-report  run a small instrumented workload, print the obs snapshot *)
+     obs-report  run a small instrumented workload, print the obs snapshot
+     robust-report
+                 run a small workload under a fault campaign, print the
+                 escalation-ladder traffic and robustness counters *)
 
 open Cmdliner
 
@@ -361,6 +364,97 @@ let obs_report_cmd =
        ~doc:"Run a small instrumented SCF workload and print the observability snapshot")
     Term.(const run $ index_arg $ json_arg)
 
+(* robust-report *)
+let robust_report_cmd =
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Fault campaign to arm for the workload \
+             (site[@prob|#hit[-hit]|%every],...[:seed], see docs/ROBUST.md). \
+             Default: scf.charge#1:1, which kills the first charge \
+             evaluation and forces one ladder escalation.  Pass an empty \
+             string to run clean.  GNRFET_FAULT, when set, wins unless \
+             this flag is given.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Also emit the full obs snapshot as JSON after the report.")
+  in
+  let rung_name = function
+    | Robust.Scf.Anderson -> "anderson"
+    | Robust.Scf.Damped_restart -> "damped-restart"
+    | Robust.Scf.Linear_slow -> "linear-slow"
+    | Robust.Scf.Neighbor_continuation -> "neighbor"
+  in
+  let run index fault json =
+    (match fault with
+    | Some "" -> Robust.Fault.disarm ()
+    | Some spec -> begin
+      match Robust.Fault.arm spec with
+      | () -> ()
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    end
+    | None ->
+      if not (Robust.Fault.active ()) then Robust.Fault.arm "scf.charge#1:1");
+    (* Same reduced device as obs-report: a short warm-started sweep
+       through the escalation ladder, with the last converged point
+       offered as the neighbor-continuation rung. *)
+    let p =
+      {
+        (Params.default ~gnr_index:index ()) with
+        Params.channel_length = 6e-9;
+        energy_step = 8e-3;
+        energy_margin = 0.3;
+      }
+    in
+    let init = ref None and neighbor = ref None in
+    Array.iter
+      (fun vg ->
+        let o =
+          Robust.Scf.solve_robust ?init:!init ?neighbor:!neighbor p ~vg ~vd:0.3
+        in
+        let attempts =
+          List.map
+            (fun (a : Robust.Scf.attempt) ->
+              match (a.status, a.error) with
+              | Some Scf.Converged, _ ->
+                Printf.sprintf "%s: converged in %d" (rung_name a.rung)
+                  a.iterations
+              | Some _, _ ->
+                Printf.sprintf "%s: unconverged (residual %.2g)"
+                  (rung_name a.rung) a.residual
+              | None, err ->
+                Printf.sprintf "%s: raised %s" (rung_name a.rung)
+                  (Option.value err ~default:"?"))
+            o.Robust.Scf.attempts
+        in
+        Printf.printf "vg=%.2f  %s\n%!" vg (String.concat " -> " attempts);
+        match o.Robust.Scf.solution with
+        | Some s ->
+          init := Some s.Scf.potential;
+          if s.Scf.status = Scf.Converged then neighbor := Some s.Scf.potential
+        | None -> ())
+      (Vec.linspace 0. 0.4 3);
+    Format.printf "%a" Robust.Report.pp (Robust.Report.collect ());
+    if json then print_string (Obs.to_json ~indent:"  " (Obs.snapshot ()));
+    if not (Obs.enabled Obs.global) then
+      prerr_endline
+        "note: observability is disabled (GNRFET_OBS=0); all counters read zero"
+  in
+  Cmd.v
+    (Cmd.info "robust-report"
+       ~doc:
+         "Run a small SCF workload under a fault campaign and print the \
+          escalation-ladder traffic and robustness counters")
+    Term.(const run $ index_arg $ fault_arg $ json_arg)
+
 let main =
   let info =
     Cmd.info "gnrfet_cli" ~version:"1.0.0"
@@ -369,6 +463,6 @@ let main =
   Cmd.group info
     [ bands_cmd; iv_cmd; vt_cmd; explore_cmd; tables_cmd; experiment_cmd;
       mc_cmd; export_cmd; simulate_cmd; roughness_cmd; ablations_cmd;
-      latch_write_cmd; obs_report_cmd ]
+      latch_write_cmd; obs_report_cmd; robust_report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -180,7 +180,14 @@ let obs_dc_solves = Obs.Counter.make "mna.dc_solves"
 let obs_newton_iters = Obs.Counter.make "mna.newton_iterations"
 let obs_transient_steps = Obs.Counter.make "mna.transient_steps"
 let obs_transient_retries = Obs.Counter.make "mna.transient_retries"
+let obs_gmin_retries = Obs.Counter.make "robust.mna.transient_gmin_retries"
 let obs_dc_time = Obs.Timer.make "mna.solve_dc"
+
+(* Fault-injection site (docs/ROBUST.md): an armed campaign can make a
+   Newton solve report failure on entry — the same [None] the callers'
+   escalation ladders (gmin stepping, source stepping, substep
+   subdivision) already recover from.  Single branch when disarmed. *)
+let fault_newton = Fault.site "mna.newton"
 
 let has_nan a = Array.exists (fun v -> not (Float.is_finite v)) a
 
@@ -191,6 +198,7 @@ let residual_norm ?vscale c x time gmin dyn =
 let newton ?(max_iter = 80) ?(v_limit = 0.3) ?vscale c x0 time gmin dyn =
   let x = ref (Array.copy x0) in
   if c.n_unknowns = 0 then Some !x
+  else if Fault.should_fail fault_newton then None
   else begin
     let rec loop it =
       Obs.Counter.incr obs_newton_iters;
@@ -322,7 +330,7 @@ let solve_dc ?x0 ?(time = 0.) net =
   Obs.Timer.stop obs_dc_time t_dc;
   match result with
   | Some x -> expand c x time
-  | None -> failwith "Mna.solve_dc: no convergence"
+  | None -> Robust_error.raise_ (Robust_error.Newton_failure { analysis = "dc"; time })
 
 let transient ?x0 ?(dt_div = 4) net ~t_stop ~dt =
   if t_stop <= 0. || dt <= 0. then invalid_arg "Mna.transient: bad time range";
@@ -352,10 +360,10 @@ let transient ?x0 ?(dt_div = 4) net ~t_stop ~dt =
     let k = c.unknown_of.(node) in
     if k >= 0 then !x.(k) <- v0.(node)
   done;
-  let advance x_in v_start t_next h =
+  let advance ?(gmin = 0.) x_in v_start t_next h =
     (* Freeze table capacitances at start-of-step bias. *)
     List.iter (fun br -> br.c_step <- Float.max 1e-21 (br.cvalue v_start)) branches;
-    match newton c x_in t_next 0. (Some { dt = h; branches }) with
+    match newton c x_in t_next gmin (Some { dt = h; branches }) with
     | Some x' ->
       let v' = expand c x' t_next in
       List.iter
@@ -369,29 +377,50 @@ let transient ?x0 ?(dt_div = 4) net ~t_stop ~dt =
       Some (x', v')
     | None -> None
   in
+  (* Escalation ladder for a failed step (docs/ROBUST.md): subdivide into
+     [dt_div] substeps, recursing one level deeper (dt/dt_div^2) when a
+     substep fails in turn; at the bottom a still-failing substep gets a
+     last attempt with a small stabilizing gmin before the typed error
+     surfaces.  A step that succeeds outright (or after one level of
+     substeps, the pre-ladder behavior) performs exactly the calls it
+     always did, so healthy transients are bit-for-bit unchanged. *)
+  let rec advance_robust ~depth x_in v_start ~t_prev ~t_next ~h =
+    match advance x_in v_start t_next h with
+    | Some _ as ok -> ok
+    | None when depth >= 2 ->
+      Obs.Counter.incr obs_gmin_retries;
+      advance ~gmin:1e-9 x_in v_start t_next h
+    | None ->
+      Obs.Counter.incr obs_transient_retries;
+      let hs = h /. float_of_int dt_div in
+      let rec subs sub xs vs =
+        if sub > dt_div then Some (xs, vs)
+        else begin
+          let t_sub_prev = t_prev +. (hs *. float_of_int (sub - 1)) in
+          let t_sub = t_prev +. (hs *. float_of_int sub) in
+          match
+            advance_robust ~depth:(depth + 1) xs vs ~t_prev:t_sub_prev
+              ~t_next:t_sub ~h:hs
+          with
+          | Some (x', v') -> subs (sub + 1) x' v'
+          | None -> None
+        end
+      in
+      subs 1 x_in v_start
+  in
   for k = 1 to n_steps do
     Obs.Counter.incr obs_transient_steps;
     let t_prev = times.(k - 1) and t_next = times.(k) in
     let v_start = voltages.(k - 1) in
-    match advance !x v_start t_next (t_next -. t_prev) with
+    match
+      advance_robust ~depth:0 !x v_start ~t_prev ~t_next ~h:(t_next -. t_prev)
+    with
     | Some (x', v') ->
       x := x';
       voltages.(k) <- v'
     | None ->
-      (* Retry with substeps. *)
-      Obs.Counter.incr obs_transient_retries;
-      let h = (t_next -. t_prev) /. float_of_int dt_div in
-      let xs = ref !x and vs = ref v_start in
-      for sub = 1 to dt_div do
-        let t_sub = t_prev +. (h *. float_of_int sub) in
-        match advance !xs !vs t_sub h with
-        | Some (x', v') ->
-          xs := x';
-          vs := v'
-        | None -> failwith "Mna.transient: step failed"
-      done;
-      x := !xs;
-      voltages.(k) <- !vs
+      Robust_error.raise_
+        (Robust_error.Newton_failure { analysis = "transient"; time = t_next })
   done;
   { times; voltages }
 

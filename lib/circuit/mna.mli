@@ -12,7 +12,8 @@ type state = float array
 val solve_dc : ?x0:state -> ?time:float -> Netlist.t -> state
 (** Newton solution of the static KCL equations with the sources evaluated
     at [time] (default 0).  Falls back to gmin stepping when plain Newton
-    fails; raises [Failure "Mna.solve_dc: no convergence"] if both fail. *)
+    fails; raises [Robust_error.Error (Newton_failure {analysis = "dc"; _})]
+    if every escalation rung fails (see docs/ROBUST.md). *)
 
 type waveform = { times : float array; voltages : float array array }
 (** [voltages.(k)] is the node-voltage vector at [times.(k)]. *)
@@ -26,9 +27,13 @@ val transient :
   waveform
 (** Trapezoidal integration from the DC point at t=0 (or [x0]) to
     [t_stop] with nominal step [dt].  If a step's Newton fails the step is
-    retried at [dt / dt_div] (default 4) internally; a persistent failure
-    raises. Capacitances of FET models are evaluated at the
-    start-of-step voltages (standard table-model practice; see DESIGN.md). *)
+    retried at [dt / dt_div] (default 4) internally, recursing one level
+    deeper ([dt / dt_div^2]) on a failed substep and finally retrying the
+    failing substep with a small stabilizing gmin; a step that fails the
+    whole ladder raises [Robust_error.Error (Newton_failure {analysis =
+    "transient"; time})] (see docs/ROBUST.md).  Capacitances of FET
+    models are evaluated at the start-of-step voltages (standard
+    table-model practice; see DESIGN.md). *)
 
 val node_trace : waveform -> Netlist.node -> float array
 

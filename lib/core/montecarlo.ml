@@ -1,6 +1,13 @@
 type sample = { frequency : float; p_dynamic : float; p_static : float }
 
-type result = { nominal : sample; samples : sample array }
+type result = { nominal : sample; samples : sample array; quarantined : int }
+
+(* Fault-injection site (docs/ROBUST.md): an armed campaign can fail
+   individual samples so the quarantine accounting is exercisable without
+   constructing a pathological device. *)
+let fault_sample = Fault.site "montecarlo.sample"
+
+let c_quarantined = Obs.Counter.make "robust.mc.quarantined"
 
 (* The nine per-FET variants of the study. *)
 let mc_widths = [| 9; 12; 15 |]
@@ -17,6 +24,49 @@ let draw rng ~sigma_probability =
   if u < sigma_probability then 0
   else if u > 1. -. sigma_probability then 2
   else 1
+
+(* The sampling loop, separated from the expensive transient-backed
+   [evaluate] so the quarantine policy is testable with a cheap stub.
+   A sample whose evaluation fails with a typed solver error (or an
+   injected fault, or a solver [Failure] such as "no output transition")
+   is dropped and counted — in [result.quarantined] and in the
+   [robust.mc.quarantined] obs counter — instead of killing the whole
+   study; the nominal evaluation stays fatal, since without it there is
+   nothing to normalize against.  The random draw happens before the
+   evaluation, so surviving samples see exactly the draw sequence they
+   would in a fault-free run. *)
+let run_with ~evaluate ~stages ~samples ~seed ~sigma_probability ~nominal_ids
+    () =
+  let nominal = evaluate (Array.make stages nominal_ids) in
+  let rng = Rng.create seed in
+  let quarantined = ref 0 in
+  let kept = ref [] in
+  for _ = 1 to samples do
+    let ids =
+      Array.init stages (fun _ ->
+          let ni =
+            (3 * draw rng ~sigma_probability) + draw rng ~sigma_probability
+          in
+          let pi =
+            (3 * draw rng ~sigma_probability) + draw rng ~sigma_probability
+          in
+          (ni, pi))
+    in
+    match
+      Fault.fail fault_sample;
+      evaluate ids
+    with
+    | s -> kept := s :: !kept
+    | exception (Robust_error.Error _ | Sparse.No_convergence _
+                | Fault.Injected _ | Failure _) ->
+      incr quarantined;
+      Obs.Counter.incr c_quarantined
+  done;
+  {
+    nominal;
+    samples = Array.of_list (List.rev !kept);
+    quarantined = !quarantined;
+  }
 
 (* Input capacitance of a pair at mid-bias: first-order fanout-load
    correction weight. *)
@@ -80,20 +130,9 @@ let run ?(op = Variation.point_b) ?(stages = 15) ?(samples = 2000) ?(seed = 42)
     let frequency = 1. /. period in
     { frequency; p_dynamic = !e_sum *. frequency; p_static = !p_stat }
   in
-  let nominal = evaluate (Array.make stages (nominal_id, nominal_id)) in
   ignore nominal_data;
-  let rng = Rng.create seed in
-  let one_sample () =
-    let ids =
-      Array.init stages (fun _ ->
-          let ni = (3 * draw rng ~sigma_probability) + draw rng ~sigma_probability in
-          let pi = (3 * draw rng ~sigma_probability) + draw rng ~sigma_probability in
-          (ni, pi))
-    in
-    evaluate ids
-  in
-  let samples = Array.init samples (fun _ -> one_sample ()) in
-  { nominal; samples }
+  run_with ~evaluate ~stages ~samples ~seed ~sigma_probability
+    ~nominal_ids:(nominal_id, nominal_id) ()
 
 let histograms ?(bins = 30) r =
   let freq = Array.map (fun s -> s.frequency /. 1e9) r.samples in

@@ -18,6 +18,13 @@ type sample = {
 type result = {
   nominal : sample;  (** all stages nominal *)
   samples : sample array;
+      (** surviving samples, in draw order (length [samples -
+          quarantined]) *)
+  quarantined : int;
+      (** samples dropped because their evaluation failed with a typed
+          solver error, an injected fault or a solver [Failure]; also
+          counted in the [robust.mc.quarantined] obs counter.  0 on
+          healthy runs.  See docs/ROBUST.md. *)
 }
 
 val run :
@@ -30,7 +37,25 @@ val run :
   result
 (** Defaults: operating point B, 15 stages, 2000 samples, seed 42,
     [sigma_probability] = 0.1587 per tail (the mass beyond ±1σ of a
-    normal, as implied by the paper's "N = 9/15 and ±q set to σ"). *)
+    normal, as implied by the paper's "N = 9/15 and ±q set to σ").
+    Failed samples are quarantined, not propagated (see {!result});
+    a failing {e nominal} evaluation still raises. *)
+
+val run_with :
+  evaluate:((int * int) array -> sample) ->
+  stages:int ->
+  samples:int ->
+  seed:int ->
+  sigma_probability:float ->
+  nominal_ids:int * int ->
+  unit ->
+  result
+(** The sampling/quarantine loop behind {!run}, parameterized over the
+    per-sample evaluator (stage variant ids, n-FET and p-FET packed as
+    [3*width_idx + charge_idx]) so the quarantine policy can be tested
+    without transient characterizations.  The random draw for a sample
+    happens before its evaluation: surviving samples see the same draw
+    sequence as a fault-free run. *)
 
 val histograms :
   ?bins:int -> result -> Stats.histogram * Stats.histogram * Stats.histogram

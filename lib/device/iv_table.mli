@@ -11,6 +11,12 @@ type t = {
   vd : float array;  (** drain-bias grid, V (strictly increasing, >= 0) *)
   current : float array array;  (** [current.(ivg).(ivd)], A (one GNR) *)
   charge : float array array;  (** net channel charge, C (signed) *)
+  failed_points : (int * int) list;
+      (** quarantined [(ivg, ivd)] grid points whose SCF solve stayed
+          unconverged through the whole escalation ladder; their
+          [current]/[charge] entries are interpolated from converged
+          neighbors (empty on healthy sweeps).  Sorted, duplicates
+          impossible.  See docs/ROBUST.md. *)
 }
 
 type grid_spec = {
@@ -31,13 +37,19 @@ val default_grid : grid_spec
 
 val generate : ?grid:grid_spec -> ?parallel:bool -> ?obs:Obs.t -> Params.t -> t
 (** Run the self-consistent solver over the grid (warm-starting each VG
-    sweep from the previous bias point).  [parallel] (default true) is
-    forwarded to {!Scf.solve}: callers fanning several devices out across
-    the domain pool ({!Table_cache.get_many}) pass [~parallel:false] so
-    the inner energy loop stays sequential under the outer fan-out.
-    [obs] (default {!Obs.global}) is forwarded too; each generation runs
-    inside an [iv_table.generate] span and bumps [iv_table.generates]
-    (see docs/OBS.md). *)
+    sweep from the previous bias point).  Each point goes through the
+    {!Scf_robust} escalation ladder in continuation order: the first rung
+    is the plain {!Scf.solve} call (a fully-converging sweep is
+    bit-for-bit identical to pre-ladder behavior), and unrecoverable
+    points are quarantined into [failed_points] (counted in
+    [robust.iv_table.quarantined]) and interpolated from converged
+    neighbors instead of aborting the sweep.  [parallel] (default true)
+    is forwarded to {!Scf.solve}: callers fanning several devices out
+    across the domain pool ({!Table_cache.get_many}) pass
+    [~parallel:false] so the inner energy loop stays sequential under the
+    outer fan-out.  [obs] (default {!Obs.global}) is forwarded too; each
+    generation runs inside an [iv_table.generate] span and bumps
+    [iv_table.generates] (see docs/OBS.md). *)
 
 val current_at : t -> vg:float -> vd:float -> float
 (** Bilinear interpolation; requires [vd >= 0] (the circuit layer owns the

@@ -6,6 +6,8 @@ type trace = {
   restarted : bool;
 }
 
+type status = Converged | Stalled | Max_iter
+
 type solution = {
   vg : float;
   vd : float;
@@ -15,8 +17,16 @@ type solution = {
   site_charge : float array;
   iterations : int;
   residual : float;
+  status : status;
   trace : trace list;
 }
+
+(* Fault-injection sites (docs/ROBUST.md): an armed campaign can fail a
+   charge evaluation or a Poisson update so the Scf_robust escalation
+   ladder is exercisable deterministically.  Single branch when off. *)
+let fault_charge = Fault.site "scf.charge"
+
+let fault_poisson = Fault.site "scf.poisson"
 
 let site_positions p =
   let n = Modespace.sites_for_length p.Params.channel_length in
@@ -104,6 +114,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
   let w_eff = Params.effective_width p in
   (* Charge implied by a potential profile (summed over mode chains). *)
   let charge_of u =
+    Fault.fail fault_charge;
     Obs.Counter.incr c_charge;
     let total = Array.make n 0. in
     Array.iter
@@ -130,6 +141,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
      solve count, not an inner iteration count. *)
   let poisson_calls = ref 0 in
   let poisson_of site_charge =
+    Fault.fail fault_poisson;
     incr poisson_calls;
     Obs.Counter.incr c_poisson;
     let sheet = Array.map (fun q -> q /. (dx *. w_eff)) site_charge in
@@ -139,7 +151,12 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
   let u0 =
     match init with
     | Some u when Array.length u = n -> Array.copy u
-    | Some _ | None -> poisson_of (Array.make n 0.)
+    | Some u ->
+      invalid_arg
+        (Printf.sprintf
+           "Scf.solve: init has %d sites but the device discretizes to %d"
+           (Array.length u) n)
+    | None -> poisson_of (Array.make n 0.)
   in
   (* Diagonal Poisson self-response du_i/dq_i (V/C), used to precondition
      the fixed point a la Gummel: in strong inversion the charge reacts as
@@ -161,6 +178,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
   let mixer =
     match mixing with
     | `Anderson -> Mixing.anderson ~history:5 ~alpha:0.5 ()
+    | `Anderson_damped alpha -> Mixing.anderson ~history:5 ~alpha ()
     | `Linear alpha -> Mixing.linear ~alpha
   in
   (* If Anderson stops making progress (charge-feedback oscillation near
@@ -174,7 +192,9 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
      identical sequential vs parallel. *)
   let traces = ref [] in
   let base_alpha =
-    match mixing with `Anderson -> 0.5 | `Linear alpha -> alpha
+    match mixing with
+    | `Anderson -> 0.5
+    | `Anderson_damped alpha | `Linear alpha -> alpha
   in
   let rec iterate u it best =
     let p0 = !poisson_calls in
@@ -222,6 +242,17 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
     end
   in
   let u, q, iterations, residual = iterate u0 0 None in
+  (* Typed convergence status (docs/ROBUST.md): [residual] is the best
+     update norm over the run, and any iterate at or below [tol]
+     terminates the loop, so [residual <= tol] is exactly "converged".
+     An unconverged run is Stalled when the stall detector had tripped
+     (no 2 % improvement over the trailing window), Max_iter when the
+     cap interrupted a still-improving iteration. *)
+  let status =
+    if residual <= tol then Converged
+    else if !stall > 6 then Stalled
+    else Max_iter
+  in
   Obs.Counter.add c_iters iterations;
   Obs.Histogram.observe h_iters iterations;
   (* Terminal current of the converged device. *)
@@ -247,6 +278,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
     site_charge = q;
     iterations;
     residual;
+    status;
     trace = List.rev !traces;
   }
 

@@ -22,6 +22,17 @@ type trace = {
     is bit-for-bit identical sequential vs parallel — the golden-trace
     regression tests (test/test_golden_trace.ml) rely on this. *)
 
+type status =
+  | Converged  (** best update norm reached [tol] *)
+  | Stalled
+      (** the stall detector tripped (no 2 % residual improvement over
+          the trailing window) and the run ended unconverged *)
+  | Max_iter  (** the iteration cap interrupted a still-improving run *)
+      (** Typed convergence verdict, so sweeps can react to an
+          unconverged point instead of silently keeping the best
+          iterate.  [Robust.Scf.solve_robust] escalates non-[Converged]
+          points up a recovery ladder; see docs/ROBUST.md. *)
+
 type solution = {
   vg : float;
   vd : float;
@@ -31,6 +42,7 @@ type solution = {
   site_charge : float array;  (** per-site net charge, C *)
   iterations : int;
   residual : float;  (** final max-norm potential update, V *)
+  status : status;
   trace : trace list;
       (** chronological, [iterations + 1] entries (one per SCF step
           including the terminal one) *)
@@ -46,19 +58,23 @@ val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?init:float array ->
-  ?mixing:[ `Anderson | `Linear of float ] ->
+  ?mixing:[ `Anderson | `Anderson_damped of float | `Linear of float ] ->
   ?parallel:bool ->
   ?obs:Obs.t ->
   Params.t ->
   vg:float ->
   vd:float ->
   solution
-(** Solve at (VG, VD).  [init] warm-starts the potential profile.  Default
+(** Solve at (VG, VD).  [init] warm-starts the potential profile (its
+    length must match the device discretization; a mismatch raises
+    [Invalid_argument] rather than being silently discarded).  Default
     tolerance 1e-3 V, iteration cap 120 (a non-converged point returns the
-    best iterate; [residual] reports the achieved update so callers can
-    assert convergence where it matters).  [mixing] selects the
-    fixed-point accelerator (default Anderson; [`Linear alpha] is the
-    plain under-relaxation baseline used by the convergence ablation).
+    best iterate with [status <> Converged]; [residual] reports the
+    achieved update so callers can assert convergence where it matters).
+    [mixing] selects the fixed-point accelerator (default Anderson;
+    [`Anderson_damped alpha] is Anderson restarted with heavier damping —
+    the second escalation rung; [`Linear alpha] is the plain
+    under-relaxation baseline used by the convergence ablation).
     [parallel] (default true) runs the per-energy NEGF loop across the
     domain pool; outer device-level fan-outs (table generation) pass
     [~parallel:false] so nesting does not oversubscribe the cores.  The

@@ -10,47 +10,99 @@ let memory_mutex = Mutex.create ()
 let clear_memory () =
   Mutex.protect memory_mutex (fun () -> Hashtbl.reset memory)
 
+(* The "v2|" prefix versions the on-disk format: Marshal is not
+   type-safe, so any change to the Iv_table.t layout (PR 4 added
+   [failed_points]) must make old files key-mismatch — the stored key is
+   a plain string, safe to read and compare regardless of what the table
+   half of the pair contains — and regenerate rather than be reinterpreted. *)
 let full_key ?grid p =
   let g = match grid with Some g -> g | None -> Iv_table.default_grid in
-  Params.cache_key p ^ "|"
+  "v2|" ^ Params.cache_key p ^ "|"
   ^ Printf.sprintf "vg%g:%g:%d-vd%g:%d" g.Iv_table.vg_min g.vg_max g.n_vg
       g.vd_max g.n_vd
 
 let path_of_key key =
   Filename.concat (cache_dir ()) (Digest.to_hex (Digest.string key) ^ ".table")
 
-(* File format: marshaled (key, table) pair; the key is re-checked on load
-   so hash collisions or format drift degrade to regeneration. *)
-let load_file key =
-  let path = path_of_key key in
-  if Sys.file_exists path then begin
-    try
-      let ic = open_in_bin path in
-      let result =
-        try
-          let stored_key, (table : Iv_table.t) =
-            (Marshal.from_channel ic : string * Iv_table.t)
-          in
-          if String.equal stored_key key then Some table else None
-        with Failure _ | End_of_file -> None
-      in
-      close_in ic;
-      result
-    with Sys_error _ -> None
-  end
-  else None
+(* Fault-injection site (docs/ROBUST.md): an armed campaign fails the
+   deserialization as a corrupt read, exercising the quarantine path. *)
+let fault_read = Fault.site "table_cache.read"
 
-let store_file key table =
-  let dir = cache_dir () in
-  if not (Sys.file_exists dir) then (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+(* A file that cannot be parsed is renamed to [<name>.corrupt] so it
+   cannot poison every future run (and stays inspectable); if even the
+   rename fails the load degrades to a plain miss. *)
+let quarantine ?obs path reason =
+  Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.corrupt_quarantined");
+  if Sys.getenv_opt "GNRFET_TABLE_DEBUG" <> None then
+    Printf.eprintf "table_cache: quarantining %s (%s)\n%!" path reason;
+  match Sys.rename path (path ^ ".corrupt") with
+  | () -> ()
+  | exception Sys_error _ -> ()
+
+(* File format: marshaled (key, table) pair; the key is re-checked on load
+   so hash collisions or format drift degrade to regeneration.  Any
+   parse/read failure — truncation, garbage bytes, Marshal version skew,
+   I/O errors mid-read — quarantines the file and reads as a miss; the
+   channel is closed on every path. *)
+let load_file ?obs key =
   let path = path_of_key key in
-  try
-    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-    let oc = open_out_bin tmp in
-    Marshal.to_channel oc (key, table) [];
-    close_out oc;
-    Sys.rename tmp path
-  with Sys_error _ | Unix.Unix_error _ -> ()
+  match open_in_bin path with
+  | exception Sys_error _ -> None (* absent (the common case) or unreadable *)
+  | ic -> (
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    match
+      Fault.fail fault_read;
+      (Marshal.from_channel ic : string * Iv_table.t)
+    with
+    | stored_key, table ->
+      if String.equal stored_key key then Some table
+      else None (* digest collision or key-format drift: stale, not corrupt *)
+    | exception ((Failure _ | End_of_file | Sys_error _ | Invalid_argument _) as e)
+      ->
+      quarantine ?obs path (Printexc.to_string e);
+      None
+    | exception Fault.Injected { site; hit } ->
+      quarantine ?obs path (Printf.sprintf "injected fault (%s hit %d)" site hit);
+      None)
+
+(* Writes are atomic (tmp + rename) and best-effort — a cache store
+   failure must never kill the computation that produced the table — but
+   never silent: every failed store counts in [table_cache.store_failures]. *)
+let store_file ?obs key table =
+  let store_failed () =
+    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.store_failures")
+  in
+  let dir = cache_dir () in
+  if not (Sys.file_exists dir) then begin
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ ->
+      (* Lost a mkdir race, or the parent is unwritable; the latter
+         surfaces as a store failure at open below. *)
+      ()
+  end;
+  let path = path_of_key key in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let cleanup () =
+    match Sys.remove tmp with () -> () | exception Sys_error _ -> ()
+  in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> store_failed ()
+  | oc -> (
+    match
+      Marshal.to_channel oc (key, table) [];
+      close_out oc
+    with
+    | () -> (
+      match Sys.rename tmp path with
+      | () -> ()
+      | exception Sys_error _ ->
+        store_failed ();
+        cleanup ())
+    | exception (Sys_error _ | Failure _) ->
+      close_out_noerr oc;
+      store_failed ();
+      cleanup ())
 
 (* Hit/miss accounting (docs/OBS.md): every [lookup] resolves to exactly
    one of memory hit, disk hit or miss; [generates] counts cache-initiated
@@ -63,7 +115,7 @@ let lookup ?grid ?obs p =
     Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.memory_hits");
     Some t
   | None -> begin
-    match load_file key with
+    match load_file ?obs key with
     | Some t ->
       Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.disk_hits");
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
@@ -81,7 +133,7 @@ let get ?grid ?obs p =
     Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
     let t = Iv_table.generate ?grid ?obs p in
     Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
-    store_file key t;
+    store_file ?obs key t;
     t
 
 let get_many ?grid ?obs ps =
@@ -96,7 +148,7 @@ let get_many ?grid ?obs ps =
       Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
       let t = Iv_table.generate ?grid ~parallel ?obs p in
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
-      store_file key t;
+      store_file ?obs key t;
       ()
     in
     (* One missing device: let its energy loop use the whole pool.

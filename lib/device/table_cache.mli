@@ -11,12 +11,24 @@ val lookup : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t op
 (** Load from memory or disk; [None] when absent or unreadable.  Every
     call bumps exactly one of [table_cache.memory_hits],
     [table_cache.disk_hits] or [table_cache.misses] in [?obs] (default
-    {!Obs.global}); see docs/OBS.md. *)
+    {!Obs.global}); see docs/OBS.md.
+
+    {b Corruption hardening} (docs/ROBUST.md): a disk file that fails to
+    deserialize — truncation, garbage bytes, Marshal version skew, I/O
+    errors mid-read — is renamed to [<name>.corrupt] (counted in
+    [table_cache.corrupt_quarantined]) and the lookup degrades to a
+    miss; the channel is closed on every path.  A file whose stored key
+    does not match reads as a plain miss without quarantine.  The cache
+    key embeds a format version ([v2|...]), so layout changes to
+    {!Iv_table.t} retire old files by key mismatch instead of
+    misinterpreting their bytes. *)
 
 val get : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t
 (** Load or generate (and persist). Thread through all experiment code.
     A generation bumps [table_cache.generates] on top of the {!lookup}
-    miss. *)
+    miss.  Persisting is atomic (tmp file + rename) and best-effort: a
+    failed write never fails the caller but counts in
+    [table_cache.store_failures]. *)
 
 val get_many :
   ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t list -> Iv_table.t list

@@ -81,9 +81,20 @@ let sor_calls = Obs.Counter.make "sparse.sor.calls"
 let sor_iters = Obs.Counter.make "sparse.sor.iterations"
 let sor_failures = Obs.Counter.make "sparse.sor.no_convergence"
 
+(* Fault-injection site (docs/ROBUST.md): an armed campaign can make a cg
+   call fail before iterating, as the typed No_convergence its callers
+   already handle, so recovery ladders (poisson3d retry/SOR fallback) are
+   exercisable deterministically.  A single branch when disarmed. *)
+let fault_cg = Fault.site "sparse.cg"
+
 let cg ?max_iter ?(tol = 1e-10) ?x0 m b =
   let n = m.n in
   let max_iter = match max_iter with Some v -> v | None -> 4 * n in
+  if Fault.should_fail fault_cg then begin
+    Obs.Counter.incr cg_calls;
+    Obs.Counter.incr cg_failures;
+    raise (No_convergence { solver = "cg"; iterations = 0; residual = infinity })
+  end;
   let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0. in
   let d = diagonal m in
   let precond r = Array.mapi (fun i ri -> ri /. d.(i)) r in

@@ -53,6 +53,8 @@ type charge = { ix : int; iy : int; iz : int; coulombs : float }
 let obs_solves = Obs.Counter.make "poisson3d.solves"
 let obs_cg_iters = Obs.Counter.make "poisson3d.cg_iterations"
 let obs_solve_time = Obs.Timer.make "poisson3d.solve"
+let obs_cg_retries = Obs.Counter.make "robust.poisson3d.cg_retries"
+let obs_sor_fallbacks = Obs.Counter.make "robust.poisson3d.sor_fallbacks"
 
 let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
   Obs.Counter.incr obs_solves;
@@ -97,7 +99,25 @@ let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
       done
     done
   end;
-  let x, iters = Sparse.cg ~tol ~max_iter:(20 * mx * my * mz) matrix rhs in
+  (* Recovery ladder (docs/ROBUST.md): a cg failure is retried once (this
+     sheds an injected transient fault; a genuine stagnation repeats
+     deterministically) and then falls back to SOR, which trades speed for
+     an iteration that cannot break down on this SPD operator.  Both
+     solvers target the same tolerance, so the recovered potential is
+     interchangeable with the fast path. *)
+  let max_iter = 20 * mx * my * mz in
+  let x, iters =
+    match Sparse.cg ~tol ~max_iter matrix rhs with
+    | result -> result
+    | exception Sparse.No_convergence _ -> begin
+      Obs.Counter.incr obs_cg_retries;
+      match Sparse.cg ~tol ~max_iter matrix rhs with
+      | result -> result
+      | exception Sparse.No_convergence _ ->
+        Obs.Counter.incr obs_sor_fallbacks;
+        Sparse.sor ~tol ~max_iter:(2 * max_iter) matrix rhs
+    end
+  in
   Obs.Counter.add obs_cg_iters iters;
   let u =
     Array.init nx (fun i ->

@@ -1,0 +1,42 @@
+(** gnrfet_robust — solver-failure taxonomy, escalation-ladder recovery
+    and deterministic fault injection, in one namespace.
+
+    - {!Error} ({!Robust_error}): the typed failure taxonomy every
+      recoverable solver failure is expressed in;
+    - {!Fault}: seeded, env-gated ([GNRFET_FAULT]) fault injection at
+      named solver sites;
+    - {!Scf} ({!Scf_robust}): the SCF escalation ladder
+      (Anderson → damped restart → slow linear → neighbor continuation);
+    - {!classify}: map an arbitrary exception onto the taxonomy;
+    - {!Report}: the robustness slice of an obs snapshot (the
+      [robust-report] CLI subcommand).
+
+    See docs/ROBUST.md for ladder semantics, the fault-spec grammar and
+    the metric inventory. *)
+
+module Error = Robust_error
+module Fault = Fault
+module Scf = Scf_robust
+
+val classify : exn -> Robust_error.t option
+(** [Some] for exceptions that belong to the taxonomy — [Fault.Injected],
+    [Sparse.No_convergence], [Robust_error.Error] — and [None] for
+    anything else (which should keep propagating). *)
+
+module Report : sig
+  type t = {
+    fault_spec : string option;  (** armed campaign, if any *)
+    counters : (string * int) list;
+        (** the robustness counters ([robust.*] plus the table-cache
+            failure counters), sorted by name *)
+  }
+
+  val collect : ?obs:Obs.t -> unit -> t
+  (** Snapshot the robustness counters from [?obs] (default
+      {!Obs.global}). *)
+
+  val total_injected : t -> int
+  (** Sum of the [robust.fault.*] counters. *)
+
+  val pp : Format.formatter -> t -> unit
+end

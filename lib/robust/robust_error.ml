@@ -1,0 +1,43 @@
+type t =
+  | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
+  | Scf_max_iter of { vg : float; vd : float; iterations : int; residual : float }
+  | Iterative_no_convergence of {
+      solver : string;
+      iterations : int;
+      residual : float;
+    }
+  | Newton_failure of { analysis : string; time : float }
+  | Cache_corrupt of { path : string; reason : string }
+  | Injected_fault of { site : string; hit : int }
+  | Unrecovered of { stage : string; attempts : int; detail : string }
+
+exception Error of t
+
+let to_string = function
+  | Scf_stalled { vg; vd; iterations; residual } ->
+    Printf.sprintf
+      "SCF stalled at vg=%g vd=%g (%d iterations, residual %.3g V)" vg vd
+      iterations residual
+  | Scf_max_iter { vg; vd; iterations; residual } ->
+    Printf.sprintf
+      "SCF hit max iterations at vg=%g vd=%g (%d iterations, residual %.3g V)"
+      vg vd iterations residual
+  | Iterative_no_convergence { solver; iterations; residual } ->
+    Printf.sprintf "%s did not converge (%d iterations, residual %.3g)" solver
+      iterations residual
+  | Newton_failure { analysis; time } ->
+    if analysis = "dc" then "MNA Newton failed (dc operating point)"
+    else Printf.sprintf "MNA Newton failed (%s, t=%.4g s)" analysis time
+  | Cache_corrupt { path; reason } ->
+    Printf.sprintf "corrupt table cache file %s (%s); quarantined" path reason
+  | Injected_fault { site; hit } ->
+    Printf.sprintf "injected fault at site %s (hit %d)" site hit
+  | Unrecovered { stage; attempts; detail } ->
+    Printf.sprintf "%s unrecovered after %d attempts: %s" stage attempts detail
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Robust_error.Error: " ^ to_string e)
+    | _ -> None)
+
+let raise_ e = raise (Error e)

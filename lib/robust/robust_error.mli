@@ -1,0 +1,41 @@
+(** Typed failure taxonomy for the solver stack.
+
+    Every recoverable solver failure is one of these constructors, so
+    recovery policy (lib/robust ladders, quarantines) can match on
+    structure instead of scraping [Failure] strings, and unrecovered
+    failures surface with enough context to reproduce them (bias point,
+    iteration count, residual).  Raised as {!Error}; classify foreign
+    exceptions with [Robust.classify].  See docs/ROBUST.md. *)
+
+type t =
+  | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
+      (** SCF terminated by the stall detector: the residual stopped
+          improving before the iteration cap. *)
+  | Scf_max_iter of { vg : float; vd : float; iterations : int; residual : float }
+      (** SCF hit the iteration cap while still improving. *)
+  | Iterative_no_convergence of {
+      solver : string;  (** ["cg"] or ["sor"] *)
+      iterations : int;
+      residual : float;
+    }  (** A linear iterative solve failed to reach tolerance. *)
+  | Newton_failure of { analysis : string; time : float }
+      (** MNA Newton iteration failed after every escalation rung;
+          [analysis] is ["dc"] or ["transient"], [time] the simulation
+          time (0 for dc). *)
+  | Cache_corrupt of { path : string; reason : string }
+      (** An on-disk table failed to load; the file has been quarantined
+          (renamed to [<path>.corrupt]). *)
+  | Injected_fault of { site : string; hit : int }
+      (** A {!Fault} campaign injection that escaped every recovery
+          layer (only reachable when a ladder is exhausted). *)
+  | Unrecovered of { stage : string; attempts : int; detail : string }
+      (** An escalation ladder ran out of rungs; [detail] describes the
+          last underlying failure. *)
+
+exception Error of t
+
+val to_string : t -> string
+(** One-line human-readable rendering (also the [Error] printer). *)
+
+val raise_ : t -> 'a
+(** [raise_ e] = [raise (Error e)]. *)

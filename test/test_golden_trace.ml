@@ -130,7 +130,11 @@ let golden_cases =
   [ ("scf_n12", tiny_device (), "golden/scf_n12.trace");
     ("scf_n15", tiny_device ~gnr_index:15 (), "golden/scf_n15.trace") ]
 
+let skip_under_scf_faults () =
+  skip_if_fault_armed [ "scf.charge"; "scf.poisson" ]
+
 let test_run_to_run () =
+  skip_under_scf_faults ();
   List.iter
     (fun (name, p, _) ->
       let a = Scf.solve ~parallel:false p ~vg ~vd in
@@ -141,6 +145,7 @@ let test_run_to_run () =
     golden_cases
 
 let test_sequential_vs_parallel () =
+  skip_under_scf_faults ();
   List.iter
     (fun (name, p, _) ->
       let seq = Scf.solve ~parallel:false p ~vg ~vd in
@@ -153,6 +158,7 @@ let test_sequential_vs_parallel () =
     golden_cases
 
 let test_against_golden_files () =
+  skip_under_scf_faults ();
   List.iter
     (fun (name, p, path) ->
       let g = parse_golden path in

@@ -11,6 +11,7 @@ let () =
       ("poisson", Test_poisson.suite);
       ("device", Test_device.suite);
       ("device:golden-trace", Test_golden_trace.suite);
+      ("robust", Test_robust.suite);
       ("circuit", Test_circuit.suite);
       ("cmos", Test_cmos.suite);
       ("core", Test_core.suite);

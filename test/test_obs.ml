@@ -99,7 +99,7 @@ let prop_span_depth_balanced =
         if k = 0 then (if raise_inner then raise Probe)
         else Obs.Span.run ~obs (Printf.sprintf "lvl%d" k) (fun () -> nest (k - 1))
       in
-      (try nest depth with Probe -> ());
+      (match nest depth with () -> () | exception Probe -> ());
       Obs.Span.depth obs = 0)
 
 (* --- snapshot / reset / json ---------------------------------------- *)
@@ -173,6 +173,7 @@ let with_global_obs enabled f =
   Fun.protect ~finally:(fun () -> Obs.set_enabled Obs.global old) f
 
 let test_disabled_mode_same_cg_result () =
+  skip_if_fault_armed [ "sparse.cg" ];
   let n = 24 in
   let b = Array.init n (fun i -> Float.sin (float_of_int i)) in
   let builder = Sparse.Builder.create n in
@@ -194,6 +195,7 @@ let test_disabled_mode_same_cg_result () =
     x_off
 
 let test_disabled_mode_same_scf_result () =
+  skip_if_fault_armed [ "scf.charge"; "scf.poisson" ];
   let p = tiny_device () in
   let off = with_global_obs false (fun () -> Scf.solve ~parallel:false p ~vg:0.3 ~vd:0.2) in
   let on = with_global_obs true (fun () -> Scf.solve ~parallel:false p ~vg:0.3 ~vd:0.2) in

@@ -18,6 +18,7 @@
      exp-log         unguarded exp/log in Fermi/NEGF paths
      magic-tol       inline denormal-range tolerances (<= 1e-250) outside Tol
      catch-all       `try ... with _ ->` swallowing every exception
+     silent-swallow  a `try` handler whose whole body is `()`
      failwith-solver `failwith` in numerics/NEGF solver hot paths
      assert-false    `assert false` as a match-arm body
      domain-capture  Domain.spawn closures capturing mutable state
@@ -279,6 +280,26 @@ let check_catch_all ctx e =
       cases
   | _ -> ()
 
+(* A handler that does literally nothing erases the failure: no counter,
+   no quarantine, no log line — the class of bug that let corrupt table
+   caches and failed store attempts vanish before PR 4.  Deliberate
+   ignores should use `match ... with exception` (which reads as a
+   decision, not a reflex) or bump an Obs counter. *)
+let check_silent_swallow ctx e =
+  match e.pexp_desc with
+  | Pexp_try (_, cases) ->
+    List.iter
+      (fun c ->
+        match c.pc_rhs.pexp_desc with
+        | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) ->
+          report ctx c.pc_rhs.pexp_loc "silent-swallow"
+            "exception handler silently swallows the failure (body is `()`); count it \
+             in an Obs counter, quarantine the artifact, or use `match ... with \
+             exception` to mark the ignore as deliberate"
+        | _ -> ())
+      cases
+  | _ -> ()
+
 let check_failwith ctx e =
   if numerics_hot_path ctx.file then
     match e.pexp_desc with
@@ -336,6 +357,7 @@ let make_iterator ctx =
     check_exp_log ctx e;
     check_magic_tol ctx e;
     check_catch_all ctx e;
+    check_silent_swallow ctx e;
     check_failwith ctx e;
     check_domain_spawn ctx e;
     match e.pexp_desc with
