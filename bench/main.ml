@@ -14,7 +14,7 @@
                                comma-separated substrings (CI smoke runs
                                the table-free SCF kernels this way)
      GNRFET_BENCH_JSON=path    where to write the report
-                               (default BENCH_PR3.json)
+                               (default BENCH_PR5.json)
      GNRFET_DOMAINS=n          worker-pool width for the parallel runs
      GNRFET_OBS=0              disable the observability counters (on by
                                default in the bench harness; the snapshot
@@ -25,6 +25,84 @@
    time); subsequent runs load it from _tables/. *)
 
 open Bechamel
+
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
+
+(* PR 5 serve-daemon sweep: 8 concurrent clients request the same
+   uncached micro table — single-flight coalesces them onto one
+   generation — then one more request lands in the in-memory LRU.  Every
+   call works against a fresh throwaway cache directory so the counter
+   pattern is deterministic: generates = 1, coalesced = 7, lru_hits = 1.
+   Returns (generates, coalesced, lru_hits, requests) from the server's
+   private obs registry. *)
+let serve_sweep_runs = ref 0
+
+let serve_sweep () =
+  incr serve_sweep_runs;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gnrfet_bench_serve.%d.%d" (Unix.getpid ())
+         !serve_sweep_runs)
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      try
+        Sys.readdir dir
+        |> Array.iter (fun f ->
+               try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+        Sys.rmdir dir
+      with Sys_error _ -> ())
+  @@ fun () ->
+  with_env "GNRFET_TABLE_DIR" dir @@ fun () ->
+  Table_cache.clear_memory ();
+  let obs = Obs.create ~enabled:true () in
+  let grid =
+    { Iv_table.vg_min = 0.; vg_max = 0.4; n_vg = 3; vd_max = 0.3; n_vd = 2 }
+  in
+  let config =
+    { Serve.default_config with Serve.ctx = Ctx.make ~obs ~grid () }
+  in
+  let server = Serve.create ~config () in
+  Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
+  let p =
+    {
+      (Params.default ~gnr_index:12 ()) with
+      Params.channel_length = 6e-9;
+      energy_step = 8e-3;
+      energy_margin = 0.3;
+    }
+  in
+  let line =
+    Serve_protocol.request_to_line
+      {
+        Serve_protocol.id = Some 1;
+        op = Serve_protocol.Table { params = p; grid = None };
+      }
+  in
+  let go = Mutex.create () in
+  Mutex.lock go;
+  let threads =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            Mutex.lock go;
+            Mutex.unlock go;
+            ignore (Serve.handle_line server line))
+          ())
+  in
+  Mutex.unlock go;
+  List.iter Thread.join threads;
+  ignore (Serve.handle_line server line);
+  ( Obs.counter_value ~obs "table_cache.generates",
+    Obs.counter_value ~obs "serve.coalesced_hits",
+    Obs.counter_value ~obs "serve.lru_hits",
+    Obs.counter_value ~obs "serve.requests" )
 
 let all_kernels : (string * (unit -> float)) list =
   [
@@ -78,6 +156,12 @@ let all_kernels : (string * (unit -> float)) list =
         match o.Scf_robust.solution with
         | Some s -> s.Scf.current
         | None -> 0. );
+    (* One serve-daemon sweep (8 coalescing clients + an LRU re-hit);
+       the counter breakdown lands in the report's "serve" section. *)
+    ( "serve:coalesced-sweep",
+      fun () ->
+        let _, coalesced, _, _ = serve_sweep () in
+        float_of_int coalesced );
   ]
 
 let kernels =
@@ -103,13 +187,6 @@ let kernels =
    the energy loop forced sequential (GNRFET_DOMAINS=1) and with the
    pool at full width, to track the tentpole speedup. *)
 let energy_loop_kernels = [ "fig2a:scf-iv-sweep"; "fig5:impurity-scf" ]
-
-let with_env key value f =
-  let old = Sys.getenv_opt key in
-  Unix.putenv key value;
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
-    f
 
 (* Plain wall-clock best-of-r timing for the before/after comparison
    (Bechamel owns the per-kernel steady-state numbers; here we want the
@@ -209,13 +286,18 @@ let exercise_table_cache () =
 (* Hand-rolled JSON (no json dependency in the image): flat schema, one
    object per kernel plus the observability snapshot, documented in
    docs/PERF.md and docs/OBS.md. *)
-let write_json path ~domains ~kernel_times ~pairs =
+let write_json path ~domains ~kernel_times ~pairs ~serve =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"gnrfet-bench-v2\",\n";
-  add "  \"pr\": 3,\n";
+  add "  \"schema\": \"gnrfet-bench-v3\",\n";
+  add "  \"pr\": 5,\n";
   add "  \"domains\": %d,\n" domains;
+  (let generates, coalesced, lru_hits, requests = serve in
+   add
+     "  \"serve\": {\"requests\": %d, \"generates\": %d, \"coalesced_hits\": \
+      %d, \"lru_hits\": %d},\n"
+     requests generates coalesced lru_hits);
   add "  \"kernels\": [\n";
   List.iteri
     (fun i (name, ms) ->
@@ -279,10 +361,22 @@ let () =
   let kernel_times = run_benchmarks () in
   let pairs = run_energy_loop_comparison () in
   exercise_table_cache ();
+  (* One clean serve sweep for the report's counter breakdown (the
+     Bechamel kernel above times it; this run pins the counts). *)
+  Printf.printf "\n== serve daemon: coalesced sweep ==\n%!";
+  let serve = serve_sweep () in
+  let generates, coalesced, lru_hits, requests = serve in
+  Printf.printf
+    "  %d requests: %d generation%s, %d coalesced, %d lru hit%s\n%!" requests
+    generates
+    (if generates = 1 then "" else "s")
+    coalesced lru_hits
+    (if lru_hits = 1 then "" else "s");
   let json_path =
     match Sys.getenv_opt "GNRFET_BENCH_JSON" with
     | Some p when p <> "" -> p
-    | Some _ | None -> "BENCH_PR3.json"
+    | Some _ | None -> "BENCH_PR5.json"
   in
-  write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs;
+  write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs
+    ~serve;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

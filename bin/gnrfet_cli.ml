@@ -16,7 +16,9 @@
      obs-report  run a small instrumented workload, print the obs snapshot
      robust-report
                  run a small workload under a fault campaign, print the
-                 escalation-ladder traffic and robustness counters *)
+                 escalation-ladder traffic and robustness counters
+     serve       table-serving daemon (Unix socket or stdio, docs/SERVE.md)
+     query       one-shot client for a running serve daemon *)
 
 open Cmdliner
 
@@ -455,6 +457,115 @@ let robust_report_cmd =
           escalation-ladder traffic and robustness counters")
     Term.(const run $ index_arg $ fault_arg $ json_arg)
 
+(* serve *)
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string "_tables/gnrfet-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve one request per stdin line, one response per stdout line, \
+             until EOF or a shutdown op (the transport the tests and CI \
+             drive).  Without this flag the daemon listens on --socket.")
+  in
+  let lru_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "lru" ] ~docv:"K" ~doc:"In-memory LRU capacity (tables).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "queue" ] ~docv:"K"
+          ~doc:"Waiting generation jobs before busy rejection.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"K" ~doc:"Generation worker threads.")
+  in
+  let retry_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Retry hint attached to busy rejections.")
+  in
+  let run stdio socket lru queue workers retry =
+    let config =
+      {
+        Serve.default_config with
+        Serve.lru_capacity = lru;
+        queue_capacity = queue;
+        workers;
+        retry_after_ms = retry;
+      }
+    in
+    let server = Serve.create ~config () in
+    if stdio then Serve.serve_stdio server stdin stdout
+    else begin
+      Printf.eprintf "gnrfet-serve: listening on %s\n%!" socket;
+      Serve.serve_unix server ~path:socket
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Concurrent table-serving daemon: newline-delimited JSON over a \
+          Unix socket (or stdio), with single-flight coalescing and bounded \
+          backpressure (docs/SERVE.md)")
+    Term.(
+      const run $ stdio_arg $ socket_arg $ lru_arg $ queue_arg $ workers_arg
+      $ retry_arg)
+
+(* query *)
+let query_cmd =
+  let op_arg =
+    let doc = "Operation: ping, stats, table, iv or shutdown." in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let vg_arg =
+    Arg.(value & opt float 0.5 & info [ "vg" ] ~docv:"V" ~doc:"Gate bias (iv op).")
+  in
+  let vd_arg =
+    Arg.(value & opt float 0.5 & info [ "vd" ] ~docv:"V" ~doc:"Drain bias (iv op).")
+  in
+  let run socket op index charge vg vd =
+    let params = params_of index charge in
+    let op =
+      match op with
+      | "ping" -> Serve_protocol.Ping
+      | "stats" -> Serve_protocol.Stats
+      | "shutdown" -> Serve_protocol.Shutdown
+      | "table" -> Serve_protocol.Table { params; grid = None }
+      | "iv" -> Serve_protocol.Iv { params; grid = None; vg; vd }
+      | other ->
+        Printf.eprintf "unknown op %S (ping|stats|table|iv|shutdown)\n" other;
+        exit 2
+    in
+    let client = Serve_client.connect ~path:socket in
+    Fun.protect
+      ~finally:(fun () -> Serve_client.close client)
+      (fun () ->
+        let r = Serve_client.request client { Serve_protocol.id = Some 0; op } in
+        match r.Serve_protocol.result with
+        | Ok result -> print_endline (Sjson.to_string result)
+        | Error e ->
+          Printf.eprintf "error (%s): %s\n" e.Serve_protocol.kind
+            e.Serve_protocol.detail;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"One-shot client for a running serve daemon")
+    Term.(
+      const run $ socket_arg $ op_arg $ index_arg $ charge_arg $ vg_arg $ vd_arg)
+
 let main =
   let info =
     Cmd.info "gnrfet_cli" ~version:"1.0.0"
@@ -463,6 +574,7 @@ let main =
   Cmd.group info
     [ bands_cmd; iv_cmd; vt_cmd; explore_cmd; tables_cmd; experiment_cmd;
       mc_cmd; export_cmd; simulate_cmd; roughness_cmd; ablations_cmd;
-      latch_write_cmd; obs_report_cmd; robust_report_cmd ]
+      latch_write_cmd; obs_report_cmd; robust_report_cmd; serve_cmd;
+      query_cmd ]
 
 let () = exit (Cmd.eval main)

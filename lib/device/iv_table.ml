@@ -7,7 +7,10 @@ type t = {
   failed_points : (int * int) list;
 }
 
-type grid_spec = {
+(* The canonical definition moved to Ctx (so the execution context can
+   carry a grid without depending on this library); re-exported here so
+   Iv_table.grid_spec keeps working everywhere. *)
+type grid_spec = Ctx.grid_spec = {
   vg_min : float;
   vg_max : float;
   n_vg : int;
@@ -51,10 +54,15 @@ let patch_failed ~failed ~vg ~current ~charge =
       patch charge)
     failed
 
-let generate ?(grid = default_grid) ?(parallel = true) ?obs p =
-  Obs.Span.run ?obs "iv_table.generate" @@ fun () ->
-  Obs.Counter.incr (Obs.Counter.make ?obs "iv_table.generates");
-  let c_quarantined = Obs.Counter.make ?obs "robust.iv_table.quarantined" in
+let generate ?grid ?parallel ?obs ?ctx p =
+  (* Legacy labels win over the ctx fields; an absent grid falls back to
+     ctx.grid and then default_grid. *)
+  let c = Ctx.resolve ?ctx ?parallel ?obs ?grid () in
+  let grid = Option.value c.Ctx.grid ~default:default_grid in
+  let parallel = c.Ctx.parallel and obs = c.Ctx.obs in
+  Obs.Span.run ~obs "iv_table.generate" @@ fun () ->
+  Obs.Counter.incr (Obs.Counter.make ~obs "iv_table.generates");
+  let c_quarantined = Obs.Counter.make ~obs "robust.iv_table.quarantined" in
   let vg = Vec.linspace grid.vg_min grid.vg_max grid.n_vg in
   let vd = Vec.linspace 0. grid.vd_max grid.n_vd in
   let current = Array.make_matrix grid.n_vg grid.n_vd 0. in
@@ -77,7 +85,7 @@ let generate ?(grid = default_grid) ?(parallel = true) ?obs p =
         (fun ig vgv ->
           let outcome =
             Scf_robust.solve_robust ?init:!init ?neighbor:!last_converged
-              ~parallel ?obs p ~vg:vgv ~vd:vdv
+              ~parallel ~obs p ~vg:vgv ~vd:vdv
           in
           match outcome.Scf_robust.solution with
           | Some s ->

@@ -19,13 +19,16 @@ type t = {
           impossible.  See docs/ROBUST.md. *)
 }
 
-type grid_spec = {
+type grid_spec = Ctx.grid_spec = {
   vg_min : float;
   vg_max : float;
   n_vg : int;
   vd_max : float;
   n_vd : int;
 }
+(** Re-export of {!Ctx.grid_spec} (the canonical definition, so an
+    execution context can carry a grid); the two names are
+    interchangeable. *)
 
 val default_grid : grid_spec
 (** VG ∈ [-0.25, 1.05] (25 mV steps, fine enough to preserve the
@@ -35,7 +38,8 @@ val default_grid : grid_spec
     stored for VD >= 0; negative VDS is handled by the circuit model
     through source/drain exchange symmetry). *)
 
-val generate : ?grid:grid_spec -> ?parallel:bool -> ?obs:Obs.t -> Params.t -> t
+val generate :
+  ?grid:grid_spec -> ?parallel:bool -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t -> t
 (** Run the self-consistent solver over the grid (warm-starting each VG
     sweep from the previous bias point).  Each point goes through the
     {!Scf_robust} escalation ladder in continuation order: the first rung
@@ -49,7 +53,10 @@ val generate : ?grid:grid_spec -> ?parallel:bool -> ?obs:Obs.t -> Params.t -> t
     [~parallel:false] so the inner energy loop stays sequential under the
     outer fan-out.  [obs] (default {!Obs.global}) is forwarded too; each
     generation runs inside an [iv_table.generate] span and bumps
-    [iv_table.generates] (see docs/OBS.md). *)
+    [iv_table.generates] (see docs/OBS.md).  [ctx] bundles all three
+    knobs ([grid] falls back to [ctx.grid], then {!default_grid}); an
+    explicitly passed legacy label wins over the corresponding [ctx]
+    field ({!Ctx.resolve}, docs/API.md). *)
 
 val current_at : t -> vg:float -> vd:float -> float
 (** Bilinear interpolation; requires [vd >= 0] (the circuit layer owns the

@@ -76,13 +76,16 @@ let chains_for p =
   Array.map (fun m -> (m, sigma)) ms.Modespace.modes
 
 let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
-    ?(parallel = true) ?obs p ~vg ~vd =
-  Obs.Span.run ?obs "scf.solve" @@ fun () ->
-  let c_solves = Obs.Counter.make ?obs "scf.solves" in
-  let c_iters = Obs.Counter.make ?obs "scf.iterations" in
-  let c_charge = Obs.Counter.make ?obs "scf.charge_evals" in
-  let c_poisson = Obs.Counter.make ?obs "scf.poisson_solves" in
-  let h_iters = Obs.Histogram.make ?obs "scf.iterations" in
+    ?parallel ?obs ?ctx p ~vg ~vd =
+  (* Legacy labels win over the ctx fields; see Ctx.resolve. *)
+  let c = Ctx.resolve ?ctx ?parallel ?obs () in
+  let parallel = c.Ctx.parallel and obs = c.Ctx.obs in
+  Obs.Span.run ~obs "scf.solve" @@ fun () ->
+  let c_solves = Obs.Counter.make ~obs "scf.solves" in
+  let c_iters = Obs.Counter.make ~obs "scf.iterations" in
+  let c_charge = Obs.Counter.make ~obs "scf.charge_evals" in
+  let c_poisson = Obs.Counter.make ~obs "scf.poisson_solves" in
+  let h_iters = Obs.Histogram.make ~obs "scf.iterations" in
   Obs.Counter.incr c_solves;
   let sites = site_positions p in
   let n = Array.length sites in
@@ -125,7 +128,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
         let q =
-          Observables.site_charge ~eta:1.5e-3 ~parallel ?obs ~bias ~egrid
+          Observables.site_charge ~eta:1.5e-3 ~parallel ~obs ~bias ~egrid
             ~midgap:onsite
             (fun _ -> chain)
         in
@@ -265,7 +268,7 @@ let solve ?(tol = 1e-3) ?(max_iter = 120) ?init ?(mixing = `Anderson)
         in
         let chain = { Rgf.onsite; hopping; sigma_l = sigma; sigma_r = sigma } in
         acc
-        +. Observables.current ~eta:1.5e-3 ~parallel ?obs ~bias ~egrid
+        +. Observables.current ~eta:1.5e-3 ~parallel ~obs ~bias ~egrid
              (fun _ -> chain))
       0. modes
   in

@@ -61,6 +61,7 @@ val solve :
   ?mixing:[ `Anderson | `Anderson_damped of float | `Linear of float ] ->
   ?parallel:bool ->
   ?obs:Obs.t ->
+  ?ctx:Ctx.t ->
   Params.t ->
   vg:float ->
   vd:float ->
@@ -86,4 +87,10 @@ val solve :
     [scf.charge_evals] and [scf.poisson_solves] in [?obs] (default
     {!Obs.global}); the NEGF and Poisson layers underneath report their
     own metrics.  All no-ops while the registry is disabled; the
-    {!trace} field is collected regardless.  See docs/OBS.md. *)
+    {!trace} field is collected regardless.  See docs/OBS.md.
+
+    {b Contexts.}  [?ctx:Ctx.t] bundles the [parallel]/[obs] knobs; an
+    explicitly passed legacy label wins over the corresponding [ctx]
+    field ({!Ctx.resolve}), and for fixed knob values the two entry
+    styles are bit-for-bit identical (test/test_ctx.ml).  Prefer [?ctx]
+    in new code; see docs/API.md. *)

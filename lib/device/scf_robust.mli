@@ -53,13 +53,15 @@ val solve_robust :
   ?neighbor:float array ->
   ?parallel:bool ->
   ?obs:Obs.t ->
+  ?ctx:Ctx.t ->
   Params.t ->
   vg:float ->
   vd:float ->
   outcome
-(** Run the ladder at (VG, VD).  [init]/[tol]/[max_iter]/[parallel]
-    default exactly as in {!Scf.solve} (the first rung {e is} that
-    call).  Raised failures ([Fault.Injected], [Sparse.No_convergence],
+(** Run the ladder at (VG, VD).  [init]/[tol]/[max_iter]/[parallel]/
+    [obs]/[ctx] default exactly as in {!Scf.solve} (the first rung {e is}
+    that call — the optional knobs are forwarded unresolved, so
+    [Ctx.resolve] precedence applies once, inside [Scf.solve]).  Raised failures ([Fault.Injected], [Sparse.No_convergence],
     solver [Failure]) are recorded per attempt and trigger the next
     rung; [Invalid_argument] (caller bugs) propagates. *)
 

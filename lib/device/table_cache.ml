@@ -21,6 +21,10 @@ let full_key ?grid p =
   ^ Printf.sprintf "vg%g:%g:%d-vd%g:%d" g.Iv_table.vg_min g.vg_max g.n_vg
       g.vd_max g.n_vd
 
+let key ?grid ?ctx p =
+  let c = Ctx.resolve ?ctx ?grid () in
+  full_key ?grid:c.Ctx.grid p
+
 let path_of_key key =
   Filename.concat (cache_dir ()) (Digest.to_hex (Digest.string key) ^ ".table")
 
@@ -108,58 +112,86 @@ let store_file ?obs key table =
    one of memory hit, disk hit or miss; [generates] counts cache-initiated
    table generations.  A fresh [get] therefore reads as one miss, one
    generate and (for later requests) memory hits only. *)
-let lookup ?grid ?obs p =
-  let key = full_key ?grid p in
+let lookup ?grid ?obs ?ctx p =
+  let c = Ctx.resolve ?ctx ?obs ?grid () in
+  let obs = c.Ctx.obs in
+  let key = full_key ?grid:c.Ctx.grid p in
   match Mutex.protect memory_mutex (fun () -> Hashtbl.find_opt memory key) with
   | Some t ->
-    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.memory_hits");
+    Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.memory_hits");
     Some t
   | None -> begin
-    match load_file ?obs key with
+    match load_file ~obs key with
     | Some t ->
-      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.disk_hits");
+      Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.disk_hits");
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
       Some t
     | None ->
-      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.misses");
+      Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.misses");
       None
   end
 
-let get ?grid ?obs p =
-  let key = full_key ?grid p in
-  match lookup ?grid ?obs p with
+let get ?grid ?obs ?ctx p =
+  let c = Ctx.resolve ?ctx ?obs ?grid () in
+  let obs = c.Ctx.obs in
+  let key = full_key ?grid:c.Ctx.grid p in
+  match lookup ~ctx:c p with
   | Some t -> t
   | None ->
-    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
-    let t = Iv_table.generate ?grid ?obs p in
+    Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.generates");
+    let t = Iv_table.generate ~ctx:c p in
     Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
-    store_file ?obs key t;
+    store_file ~obs key t;
     t
 
-let get_many ?grid ?obs ps =
+let get_many ?grid ?obs ?ctx ps =
+  let c = Ctx.resolve ?ctx ?obs ?grid () in
+  let obs = c.Ctx.obs in
+  let missing = List.filter (fun p -> Option.is_none (lookup ~ctx:c p)) ps in
+  (* A batch may name the same device twice (duplicate Params in the
+     request list): generate each unique key exactly once, counting the
+     dropped duplicates in [table_cache.deduped].  Output order is
+     preserved by the final per-request [get] pass (duplicates resolve
+     to memory hits). *)
   let missing =
-    List.filter (fun p -> Option.is_none (lookup ?grid ?obs p)) ps
+    let seen = Hashtbl.create 16 in
+    let c_deduped = Obs.Counter.make ~obs "table_cache.deduped" in
+    List.filter
+      (fun p ->
+        let k = full_key ?grid:c.Ctx.grid p in
+        if Hashtbl.mem seen k then begin
+          Obs.Counter.incr c_deduped;
+          false
+        end
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      missing
   in
   if missing <> [] then begin
     (* Persist each table as soon as it is generated so an interrupted
        batch keeps its completed work. *)
-    let generate_and_store ~parallel p =
-      let key = full_key ?grid p in
-      Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.generates");
-      let t = Iv_table.generate ?grid ~parallel ?obs p in
+    let generate_and_store ctx p =
+      let key = full_key ?grid:ctx.Ctx.grid p in
+      Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.generates");
+      let t = Iv_table.generate ~ctx p in
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
-      store_file ?obs key t;
+      store_file ~obs key t;
       ()
     in
     (* One missing device: let its energy loop use the whole pool.
        Several: parallelise across devices instead and force the inner
        energy loop sequential, so device x energy nesting does not
        oversubscribe the cores. *)
-    if List.compare_length_with missing 1 > 0 && Parallel.num_domains () > 1
+    if
+      List.compare_length_with missing 1 > 0
+      && c.Ctx.parallel
+      && Parallel.num_domains () > 1
     then
       ignore
-        (Parallel.map (generate_and_store ~parallel:false)
+        (Parallel.map (generate_and_store (Ctx.sequential c))
            (Array.of_list missing))
-    else List.iter (generate_and_store ~parallel:true) missing
+    else List.iter (generate_and_store c) missing
   end;
-  List.map (fun p -> get ?grid ?obs p) ps
+  List.map (fun p -> get ~ctx:c p) ps

@@ -7,7 +7,15 @@
 
 val cache_dir : unit -> string
 
-val lookup : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t option
+val key : ?grid:Iv_table.grid_spec -> ?ctx:Ctx.t -> Params.t -> string
+(** The full content key a [(p, grid)] request is cached under (device
+    cache key + format version + grid signature).  The serve layer's LRU
+    and single-flight maps key on this, so their identity is exactly the
+    cache's. *)
+
+val lookup :
+  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t ->
+  Iv_table.t option
 (** Load from memory or disk; [None] when absent or unreadable.  Every
     call bumps exactly one of [table_cache.memory_hits],
     [table_cache.disk_hits] or [table_cache.misses] in [?obs] (default
@@ -23,7 +31,8 @@ val lookup : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t op
     {!Iv_table.t} retire old files by key mismatch instead of
     misinterpreting their bytes. *)
 
-val get : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t
+val get :
+  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t -> Iv_table.t
 (** Load or generate (and persist). Thread through all experiment code.
     A generation bumps [table_cache.generates] on top of the {!lookup}
     miss.  Persisting is atomic (tmp file + rename) and best-effort: a
@@ -31,7 +40,8 @@ val get : ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t -> Iv_table.t
     [table_cache.store_failures]. *)
 
 val get_many :
-  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> Params.t list -> Iv_table.t list
+  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t list ->
+  Iv_table.t list
 (** Like {!get} for a batch.  Two or more missing tables are generated in
     parallel across devices with the per-device energy loop forced
     sequential; a single missing table is generated with the energy-level
@@ -40,7 +50,19 @@ val get_many :
     request: a missing device costs one miss + one generate (plus one
     memory hit when the result list is assembled); a batch whose tables
     all exist costs memory hits only — the
-    [test/test_device.ml] cache-accounting test pins this down. *)
+    [test/test_device.ml] cache-accounting test pins this down.
+
+    Duplicate [Params.t] entries in the request list are generated only
+    once: the missing set is deduplicated by {!key} before generation
+    (each dropped duplicate counts in [table_cache.deduped]) and the
+    duplicates resolve to memory hits when the result list — whose order
+    always matches the request list — is assembled.
+
+    All three entry points also accept [?ctx:Ctx.t] bundling the
+    [grid]/[obs]/[parallel] knobs; explicitly passed legacy labels win
+    over the corresponding [ctx] fields ({!Ctx.resolve}, docs/API.md).
+    [ctx.parallel = false] forces the whole batch sequential (devices
+    and energy loops). *)
 
 val clear_memory : unit -> unit
 (** Drop the in-memory cache (tests). *)

@@ -20,9 +20,11 @@ let domains_of parallel = if parallel then None else Some 1
    observable call (never per energy point) and per-chunk counter adds,
    so the energy loop itself stays allocation-free; energies/sec is the
    counter divided by the timer (docs/OBS.md). *)
-let transmission_spectrum ?eta ?(parallel = true) ?obs ~egrid chain_at =
-  let tm = Obs.Timer.make ?obs "negf.transmission_spectrum" in
-  let c_energies = Obs.Counter.make ?obs "rgf.transmission_energies" in
+let transmission_spectrum ?eta ?parallel ?obs ?ctx ~egrid chain_at =
+  let c = Ctx.resolve ?ctx ?parallel ?obs () in
+  let parallel = c.Ctx.parallel and obs = c.Ctx.obs in
+  let tm = Obs.Timer.make ~obs "negf.transmission_spectrum" in
+  let c_energies = Obs.Counter.make ~obs "rgf.transmission_energies" in
   let t0 = Obs.Timer.start tm in
   let ne = Array.length egrid in
   let out = Array.make ne 0. in
@@ -40,9 +42,11 @@ let transmission_spectrum ?eta ?(parallel = true) ?obs ~egrid chain_at =
   Obs.Timer.stop tm t0;
   out
 
-let current ?eta ?(parallel = true) ?obs ~bias ~egrid chain_at =
-  let tm = Obs.Timer.make ?obs "negf.current" in
-  let c_energies = Obs.Counter.make ?obs "rgf.transmission_energies" in
+let current ?eta ?parallel ?obs ?ctx ~bias ~egrid chain_at =
+  let c = Ctx.resolve ?ctx ?parallel ?obs () in
+  let parallel = c.Ctx.parallel and obs = c.Ctx.obs in
+  let tm = Obs.Timer.make ~obs "negf.current" in
+  let c_energies = Obs.Counter.make ~obs "rgf.transmission_energies" in
   let t0 = Obs.Timer.start tm in
   let { mu_s; mu_d; kt } = bias in
   let integrand ws k =
@@ -80,9 +84,11 @@ type charge_scratch = {
   mutable s_cur : float array;
 }
 
-let site_charge ?eta ?(parallel = true) ?obs ~bias ~egrid ~midgap chain_at =
-  let tm = Obs.Timer.make ?obs "negf.site_charge" in
-  let c_energies = Obs.Counter.make ?obs "rgf.spectra_energies" in
+let site_charge ?eta ?parallel ?obs ?ctx ~bias ~egrid ~midgap chain_at =
+  let c = Ctx.resolve ?ctx ?parallel ?obs () in
+  let parallel = c.Ctx.parallel and obs = c.Ctx.obs in
+  let tm = Obs.Timer.make ~obs "negf.site_charge" in
+  let c_energies = Obs.Counter.make ~obs "rgf.spectra_energies" in
   let t0 = Obs.Timer.start tm in
   let { mu_s; mu_d; kt } = bias in
   let chain0 = chain_at egrid.(0) in

@@ -19,7 +19,13 @@
     energies-per-second falls out of the snapshot.  Metrics land in
     [?obs] (default {!Obs.global}); counters are bumped once per chunk,
     never per energy point, and everything is a no-op while the registry
-    is disabled.  See docs/OBS.md. *)
+    is disabled.  See docs/OBS.md.
+
+    {b Contexts.}  All three observables also accept [?ctx:Ctx.t]
+    bundling the [parallel]/[obs] knobs; an explicitly passed legacy
+    label wins over the corresponding [ctx] field ({!Ctx.resolve}).
+    Prefer [?ctx] in new code — the legacy labels are kept only so
+    existing call sites stay source-compatible (docs/API.md). *)
 
 type bias = {
   mu_s : float;  (** source electro-chemical potential, eV *)
@@ -35,6 +41,7 @@ val current :
   ?eta:float ->
   ?parallel:bool ->
   ?obs:Obs.t ->
+  ?ctx:Ctx.t ->
   bias:bias ->
   egrid:float array ->
   (float -> Rgf.chain) ->
@@ -51,6 +58,7 @@ val site_charge :
   ?eta:float ->
   ?parallel:bool ->
   ?obs:Obs.t ->
+  ?ctx:Ctx.t ->
   bias:bias ->
   egrid:float array ->
   midgap:float array ->
@@ -67,6 +75,7 @@ val transmission_spectrum :
   ?eta:float ->
   ?parallel:bool ->
   ?obs:Obs.t ->
+  ?ctx:Ctx.t ->
   egrid:float array ->
   (float -> Rgf.chain) ->
   float array

@@ -1,0 +1,30 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+    (match Unix.close fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ());
+    raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request t req =
+  output_string t.oc (Serve_protocol.request_to_line req);
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line ->
+    (match Serve_protocol.parse_response line with
+    | Ok r -> r
+    | Error e -> failwith ("serve_client: bad response: " ^ e))
+  | exception End_of_file -> failwith "serve_client: connection closed"
+
+let close t =
+  (* close_in closes the shared descriptor; double-close is the only
+     other failure mode and both are benign here. *)
+  match close_in t.ic with
+  | () -> ()
+  | exception Sys_error _ -> ()

@@ -1,0 +1,13 @@
+(** Minimal blocking client for the daemon's Unix-socket transport
+    (used by [gnrfet_cli query] and the tests). *)
+
+type t
+
+val connect : path:string -> t
+(** Raises [Unix.Unix_error] when the socket is absent or refusing. *)
+
+val request : t -> Serve_protocol.request -> Serve_protocol.response
+(** Send one request line and block for its response line.  Raises
+    [Failure] on EOF or an unparseable response. *)
+
+val close : t -> unit

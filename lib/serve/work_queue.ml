@@ -1,0 +1,47 @@
+type 'a t = {
+  cap : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Work_queue.create: negative capacity";
+  {
+    cap = capacity;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.items)
+
+let try_push t x =
+  Mutex.protect t.mu (fun () ->
+      if t.closed || Queue.length t.items >= t.cap then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      let rec go () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          go ()
+        end
+      in
+      go ())
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

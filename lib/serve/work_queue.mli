@@ -1,0 +1,27 @@
+(** Bounded multi-producer/multi-consumer work queue — the admission
+    control in front of the generation workers.
+
+    Producers never block: {!try_push} fails immediately when the queue
+    is at capacity, which the server turns into a reject-with-retry-after
+    response (backpressure, docs/SERVE.md).  Consumers block in {!pop}
+    until an item or {!close} arrives. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity < 0] raises [Invalid_argument].  [capacity = 0] rejects
+    every push (useful to force the rejection path in tests). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    and drained ([None]). *)
+
+val close : 'a t -> unit
+(** Idempotent.  Already-queued items still drain; new pushes fail. *)

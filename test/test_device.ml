@@ -250,6 +250,37 @@ let test_table_cache_hit_miss_accounting () =
             b.Iv_table.current.(3).(2))
         first second)
 
+let test_get_many_dedups_duplicates () =
+  skip_if_fault_armed [ "table_cache.read"; "scf.charge"; "scf.poisson" ];
+  (* PR 5 satellite: duplicate Params.t entries in one batch are
+     generated once and counted in table_cache.deduped, and the result
+     list still matches the request order. *)
+  with_temp_cache (fun () ->
+      let old = Obs.enabled Obs.global in
+      Obs.set_enabled Obs.global true;
+      Fun.protect ~finally:(fun () -> Obs.set_enabled Obs.global old)
+      @@ fun () ->
+      let other = tiny_device ~gnr_index:9 () in
+      let read name = Obs.counter_value name in
+      let d0 = read "table_cache.deduped" and g0 = read "table_cache.generates" in
+      let results =
+        Table_cache.get_many ~grid:tiny_grid [ tiny; other; tiny; tiny ]
+      in
+      Alcotest.(check int) "two duplicates dropped" 2
+        (read "table_cache.deduped" - d0);
+      Alcotest.(check int) "only the two distinct devices generated" 2
+        (read "table_cache.generates" - g0);
+      Alcotest.(check int) "result per request" 4 (List.length results);
+      match results with
+      | [ a; b; c; d ] ->
+        Alcotest.(check string) "order: dup of first" a.Iv_table.key
+          c.Iv_table.key;
+        Alcotest.(check string) "order: dup of first (2)" a.Iv_table.key
+          d.Iv_table.key;
+        Alcotest.(check bool) "order: second distinct" true
+          (b.Iv_table.key <> a.Iv_table.key)
+      | _ -> Alcotest.fail "unreachable")
+
 let test_params_cache_key_stability () =
   let a = Params.cache_key (Params.default ()) in
   let b = Params.cache_key (Params.default ()) in
@@ -276,6 +307,8 @@ let suite =
     Alcotest.test_case "table cache device keying" `Quick test_table_cache_distinguishes_devices;
     Alcotest.test_case "table cache hit/miss accounting" `Quick
       test_table_cache_hit_miss_accounting;
+    Alcotest.test_case "get_many dedups duplicates" `Quick
+      test_get_many_dedups_duplicates;
     Alcotest.test_case "cache key stability" `Quick test_params_cache_key_stability;
     Alcotest.test_case "scf parallel equivalence" `Quick test_scf_parallel_equivalence;
   ]

@@ -9,9 +9,11 @@ let () =
       ("physics+gnr", Test_gnr.suite);
       ("negf", Test_negf.suite);
       ("poisson", Test_poisson.suite);
+      ("ctx", Test_ctx.suite);
       ("device", Test_device.suite);
       ("device:golden-trace", Test_golden_trace.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
       ("circuit", Test_circuit.suite);
       ("cmos", Test_cmos.suite);
       ("core", Test_core.suite);

@@ -22,7 +22,8 @@
      failwith-solver `failwith` in numerics/NEGF solver hot paths
      assert-false    `assert false` as a match-arm body
      domain-capture  Domain.spawn closures capturing mutable state
-     missing-mli     lib/**/*.ml without a corresponding .mli *)
+     missing-mli     lib/**/*.ml without a corresponding .mli
+     ctx-labels      a ?parallel/?obs label pair without a ?ctx bundle *)
 
 open Parsetree
 open Ast_iterator
@@ -347,6 +348,43 @@ let check_domain_spawn ctx e =
              name)))
   | _ -> ()
 
+(* PR 5 made Ctx.t the canonical way to thread execution knobs: any
+   entry point taking both ?parallel and ?obs must also take ?ctx so
+   callers can pass one bundle instead of re-threading every label
+   (docs/API.md).  Flags definitions and signatures that grow the label
+   pair without the bundle; pre-Ctx wrappers live in the baseline. *)
+
+let ctx_label_set = [ "parallel"; "obs" ]
+
+let check_ctx_label_names ctx loc labels =
+  let has l = List.mem l labels in
+  if List.for_all has ctx_label_set && not (has "ctx") then
+    report ctx loc "ctx-labels"
+      "takes both ?parallel and ?obs but no ?ctx; accept ?ctx:Ctx.t and resolve \
+       with Ctx.resolve so callers can pass one execution-context bundle \
+       (docs/API.md)"
+
+let check_ctx_labels_binding ctx vb =
+  let rec labels acc e =
+    match e.pexp_desc with
+    | Pexp_fun (Optional l, _, _, body) -> labels (l :: acc) body
+    | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> labels acc body
+    | _ -> acc
+  in
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var _ ->
+    check_ctx_label_names ctx vb.pvb_pat.ppat_loc (labels [] vb.pvb_expr)
+  | _ -> ()
+
+let check_ctx_labels_value_description ctx vd =
+  let rec labels acc t =
+    match t.ptyp_desc with
+    | Ptyp_arrow (Optional l, _, rest) -> labels (l :: acc) rest
+    | Ptyp_arrow (_, _, rest) -> labels acc rest
+    | _ -> acc
+  in
+  check_ctx_label_names ctx vd.pval_loc (labels [] vd.pval_type)
+
 (* ------------------------------------------------------------------ *)
 (* Iterator plumbing                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -382,9 +420,14 @@ let make_iterator ctx =
     (match vb.pvb_pat.ppat_desc with
     | Ppat_var { txt; _ } -> Hashtbl.replace ctx.local_funs txt vb.pvb_expr
     | _ -> ());
+    check_ctx_labels_binding ctx vb;
     default_iterator.value_binding self vb
   in
-  { default_iterator with expr; case; value_binding }
+  let value_description self vd =
+    check_ctx_labels_value_description ctx vd;
+    default_iterator.value_description self vd
+  in
+  { default_iterator with expr; case; value_binding; value_description }
 
 (* ------------------------------------------------------------------ *)
 (* File discovery and driving                                         *)
