@@ -210,7 +210,7 @@ let newton ?(max_iter = 80) ?(v_limit = 0.3) ?vscale c x0 time gmin dyn =
       end
       else begin
         match Matrix.solve j (Array.map (fun v -> -.v) f) with
-        | exception Failure _ ->
+        | exception (Failure _ | Numerics_error.Singular _) ->
           if debug then
             Printf.eprintf "newton: singular J at it=%d fnorm=%g\n%!" it fnorm;
           None
@@ -259,6 +259,9 @@ let newton ?(max_iter = 80) ?(v_limit = 0.3) ?vscale c x0 time gmin dyn =
 let solve_dc ?x0 ?(time = 0.) net =
   Obs.Counter.incr obs_dc_solves;
   let t_dc = Obs.Timer.start obs_dc_time in
+  (* Stop on every path: the bad-x0 invalid_arg and the terminal
+     Newton_failure must not leak the sample (gnrlint span-balance). *)
+  Fun.protect ~finally:(fun () -> Obs.Timer.stop obs_dc_time t_dc) @@ fun () ->
   let c = compile net in
   let x0 =
     match x0 with
@@ -327,7 +330,6 @@ let solve_dc ?x0 ?(time = 0.) net =
           end
       end)
   in
-  Obs.Timer.stop obs_dc_time t_dc;
   match result with
   | Some x -> expand c x time
   | None -> Robust_error.raise_ (Robust_error.Newton_failure { analysis = "dc"; time })

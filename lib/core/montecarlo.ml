@@ -58,7 +58,8 @@ let run_with ~evaluate ~stages ~samples ~seed ~sigma_probability ~nominal_ids
     with
     | s -> kept := s :: !kept
     | exception (Robust_error.Error _ | Sparse.No_convergence _
-                | Fault.Injected _ | Failure _) ->
+                | Fault.Injected _ | Failure _ | Numerics_error.Singular _
+                | Numerics_error.Stalled _) ->
       incr quarantined;
       Obs.Counter.incr c_quarantined
   done;

@@ -93,7 +93,8 @@ let solve_robust ?tol ?max_iter ?init ?neighbor ?parallel ?obs ?ctx p ~vg
               error = None;
             },
             s.status = Scf.Converged )
-        | exception ((Fault.Injected _ | Sparse.No_convergence _ | Failure _)
+        | exception ((Fault.Injected _ | Sparse.No_convergence _ | Failure _
+                     | Numerics_error.Singular _ | Numerics_error.Stalled _)
                      as e) ->
           ( {
               rung;

@@ -90,6 +90,10 @@ let site_charge ?eta ?parallel ?obs ?ctx ~bias ~egrid ~midgap chain_at =
   let tm = Obs.Timer.make ~obs "negf.site_charge" in
   let c_energies = Obs.Counter.make ~obs "rgf.spectra_energies" in
   let t0 = Obs.Timer.start tm in
+  (* The timer must stop on every path: the midgap-length invalid_arg
+     below (and anything chain_at raises) would otherwise leak the
+     sample (gnrlint span-balance). *)
+  Fun.protect ~finally:(fun () -> Obs.Timer.stop tm t0) @@ fun () ->
   let { mu_s; mu_d; kt } = bias in
   let chain0 = chain_at egrid.(0) in
   let n = Array.length chain0.Rgf.onsite in
@@ -150,7 +154,6 @@ let site_charge ?eta ?parallel ?obs ?ctx ~bias ~egrid ~midgap chain_at =
         (ea, ha))
       (Array.make n 0., Array.make n 0.)
   in
-  Obs.Timer.stop tm t0;
   (* Spin degeneracy 2; 2π spectral normalization; electrons negative. *)
   let scale = 2. *. Const.q /. (2. *. Float.pi) in
   Array.init n (fun i -> -.scale *. (electrons.(i) -. holes.(i)))

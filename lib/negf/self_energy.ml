@@ -29,7 +29,14 @@ let sancho_rubio ?(eta = 1e-6) ?(tol = 1e-12) ?(max_iter = 200) ~h00 ~h01 e =
   let rec loop eps eps_s alpha beta k =
     if Cmatrix.max_abs alpha < tol then
       Cmatrix.inverse (Cmatrix.sub energy eps_s)
-    else if k >= max_iter then failwith "Self_energy.sancho_rubio: stalled"
+    else if k >= max_iter then
+      raise
+        (Numerics_error.Stalled
+           {
+             solver = "Self_energy.sancho_rubio";
+             iterations = k;
+             residual = Cmatrix.max_abs alpha;
+           })
     else begin
       let g = Cmatrix.inverse (Cmatrix.sub energy eps) in
       let agb = Cmatrix.mul alpha (Cmatrix.mul g beta) in

@@ -39,7 +39,9 @@ let factorize t =
   let n = t.n and kl = t.kl in
   for k = 0 to n - 1 do
     let pivot = raw_get t k k in
-    if Float.abs pivot < Tol.pivot then failwith "Banded.factorize: zero pivot";
+    if Float.abs pivot < Tol.pivot then
+      Numerics_error.singular ~solver:"Banded.factorize"
+        ~detail:(Printf.sprintf "zero pivot at row %d" k);
     let imax = min (n - 1) (k + kl) in
     for i = k + 1 to imax do
       let factor = raw_get t i k /. pivot in

@@ -87,7 +87,9 @@ let lu_factor m =
         pivot := i
       end
     done;
-    if !best < Tol.pivot then failwith "Matrix.lu_factor: singular";
+    if !best < Tol.pivot then
+      Numerics_error.singular ~solver:"Matrix.lu_factor"
+        ~detail:(Printf.sprintf "singular matrix (pivot column %d)" k);
     if !pivot <> k then begin
       let p = !pivot in
       for j = 0 to n - 1 do

@@ -1,0 +1,14 @@
+exception Singular of { solver : string; detail : string }
+exception Stalled of { solver : string; iterations : int; residual : float }
+
+let singular ~solver ~detail = raise (Singular { solver; detail })
+
+let () =
+  Printexc.register_printer (function
+    | Singular { solver; detail } ->
+      Some (Printf.sprintf "Numerics_error.Singular(%s: %s)" solver detail)
+    | Stalled { solver; iterations; residual } ->
+      Some
+        (Printf.sprintf "Numerics_error.Stalled(%s: %d iterations, residual %g)"
+           solver iterations residual)
+    | _ -> None)

@@ -1,0 +1,29 @@
+(** Typed failures raised by the direct linear-algebra solvers.
+
+    PR 4 gave the iterative solvers a typed taxonomy
+    ({!Sparse.No_convergence}, [Robust_error]); the direct solvers still
+    raised bare [Failure _], which forced every recovery path
+    (Anderson-mixing fallback, Newton singular-Jacobian retry, the
+    escalation ladder, Monte-Carlo quarantine) to string-match.  These
+    exceptions carry the solver name and enough context to report or
+    classify without parsing messages.
+
+    Catch sites that previously matched [Failure _] keep doing so (other
+    [Failure] sources — [Marshal], [int_of_string] — still exist) and
+    additionally match these. *)
+
+exception Singular of { solver : string; detail : string }
+(** A direct solve hit a pivot below {!Tol.pivot} (or the complex-norm
+    floor {!Tol.pivot_norm2}): the system is singular to working
+    precision.  [solver] is ["Matrix.lu_factor"], ["Tridiag.solve"],
+    ["Tridiag.solve_complex"], ["Banded.factorize"] or
+    ["Cmatrix.solve"]. *)
+
+exception Stalled of { solver : string; iterations : int; residual : float }
+(** A fixed-point iteration with no useful partial result exhausted its
+    budget ([Self_energy.sancho_rubio]).  Unlike
+    {!Sparse.No_convergence} there is no approximate solution to
+    return. *)
+
+val singular : solver:string -> detail:string -> 'a
+(** [raise (Singular ...)] as an expression of any type. *)

@@ -9,12 +9,15 @@ let solve ~lower ~diag ~upper ~rhs =
   if n = 0 then [||]
   else begin
     let c' = Array.make n 0. and d' = Array.make n 0. in
-    if Float.abs diag.(0) < Tol.pivot then failwith "Tridiag.solve: zero pivot";
+    if Float.abs diag.(0) < Tol.pivot then
+      Numerics_error.singular ~solver:"Tridiag.solve" ~detail:"zero pivot at row 0";
     c'.(0) <- upper.(0) /. diag.(0);
     d'.(0) <- rhs.(0) /. diag.(0);
     for i = 1 to n - 1 do
       let m = diag.(i) -. (lower.(i) *. c'.(i - 1)) in
-      if Float.abs m < Tol.pivot then failwith "Tridiag.solve: zero pivot";
+      if Float.abs m < Tol.pivot then
+        Numerics_error.singular ~solver:"Tridiag.solve"
+          ~detail:(Printf.sprintf "zero pivot at row %d" i);
       c'.(i) <- upper.(i) /. m;
       d'.(i) <- (rhs.(i) -. (lower.(i) *. d'.(i - 1))) /. m
     done;
@@ -34,12 +37,16 @@ let solve_complex ~lower ~diag ~upper ~rhs =
   else begin
     let open Complex in
     let c' = Array.make n zero and d' = Array.make n zero in
-    if norm diag.(0) < Tol.pivot then failwith "Tridiag.solve_complex: zero pivot";
+    if norm diag.(0) < Tol.pivot then
+      Numerics_error.singular ~solver:"Tridiag.solve_complex"
+        ~detail:"zero pivot at row 0";
     c'.(0) <- div upper.(0) diag.(0);
     d'.(0) <- div rhs.(0) diag.(0);
     for i = 1 to n - 1 do
       let m = sub diag.(i) (mul lower.(i) c'.(i - 1)) in
-      if norm m < Tol.pivot then failwith "Tridiag.solve_complex: zero pivot";
+      if norm m < Tol.pivot then
+        Numerics_error.singular ~solver:"Tridiag.solve_complex"
+          ~detail:(Printf.sprintf "zero pivot at row %d" i);
       c'.(i) <- div upper.(i) m;
       d'.(i) <- div (sub rhs.(i) (mul lower.(i) d'.(i - 1))) m
     done;

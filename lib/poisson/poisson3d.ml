@@ -59,6 +59,10 @@ let obs_sor_fallbacks = Obs.Counter.make "robust.poisson3d.sor_fallbacks"
 let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
   Obs.Counter.incr obs_solves;
   let t0 = Obs.Timer.start obs_solve_time in
+  (* Stop on every path: the out-of-interior invalid_arg and a cg/SOR
+     No_convergence escaping the recovery ladder must not leak the
+     sample (gnrlint span-balance). *)
+  Fun.protect ~finally:(fun () -> Obs.Timer.stop obs_solve_time t0) @@ fun () ->
   let { nx; ny; nz; spacing; matrix } = t in
   let mx = nx - 2 and my = ny - 2 and mz = nz - 2 in
   let idx i j k = (((i - 1) * my) + (j - 1)) * mz + (k - 1) in
@@ -128,7 +132,6 @@ let solve ?(tol = 1e-10) ?(boundary = 0.) t ~charges =
                 then boundary
                 else x.(idx i j k))))
   in
-  Obs.Timer.stop obs_solve_time t0;
   u
 
 let line_profile u ~iy ~iz = Array.map (fun plane -> plane.(iy).(iz)) u

@@ -125,6 +125,10 @@ let obs_solve_time = Obs.Timer.make "stack2d.solve"
 let solve t ~bc ~sheet_charge =
   Obs.Counter.incr obs_solves;
   let t0 = Obs.Timer.start obs_solve_time in
+  (* Stop on every path: the sheet-charge-length invalid_arg and a
+     singular factorization in Banded.solve must not leak the sample
+     (gnrlint span-balance). *)
+  Fun.protect ~finally:(fun () -> Obs.Timer.stop obs_solve_time t0) @@ fun () ->
   let nx = nx t and nz = nz t in
   if Array.length sheet_charge <> nx - 2 then
     invalid_arg "Stack2d.solve: sheet_charge must have nx-2 entries";
@@ -171,7 +175,6 @@ let solve t ~bc ~sheet_charge =
               let k = t.unknown_of.(i).(j) in
               if k >= 0 then x.(k) else 0.))
   in
-  Obs.Timer.stop obs_solve_time t0;
   u
 
 let plane_potential t u =

@@ -7,6 +7,8 @@ let classify : exn -> Robust_error.t option = function
     Some (Robust_error.Injected_fault { site; hit })
   | Sparse.No_convergence { solver; iterations; residual } ->
     Some (Robust_error.Iterative_no_convergence { solver; iterations; residual })
+  | Numerics_error.Stalled { solver; iterations; residual } ->
+    Some (Robust_error.Iterative_no_convergence { solver; iterations; residual })
   | Robust_error.Error e -> Some e
   | _ -> None
 

@@ -1,0 +1,8 @@
+(* gnrlint fixture — per-file syntactic rule smoke case.  Parsed,
+   never compiled. *)
+
+(* Positive: structural equality against a nonzero float literal. *)
+let near x = x = 3.14
+
+(* Clean: exact-zero comparison is the exempt sentinel idiom. *)
+let zero_ok x = x = 0.

@@ -1,0 +1,31 @@
+(* gnrlint fixture — lock-safety cases.  Parsed, never compiled. *)
+
+let mu = Mutex.create ()
+
+(* Positive: invalid_arg fires while the lock is held. *)
+let bad_raise q =
+  Mutex.lock mu;
+  if q < 0 then invalid_arg "lock_fixture: negative";
+  Mutex.unlock mu;
+  q + 1
+
+(* Positive: no unlock anywhere in the function. *)
+let bad_leak () = Mutex.lock mu
+
+(* Clean: Mutex.protect releases on every path by construction. *)
+let good_protect q = Mutex.protect mu (fun () -> if q < 0 then invalid_arg "neg"; q + 1)
+
+(* Clean: Fun.protect ~finally carries the unlock. *)
+let good_finally q =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
+  if q < 0 then invalid_arg "neg";
+  q + 1
+
+(* Suppressed: deliberately accepted inline. *)
+let allowed q =
+  (* gnrlint: allow lock-safety — fixture: deliberately accepted *)
+  Mutex.lock mu;
+  if q < 0 then failwith "neg";
+  Mutex.unlock mu;
+  q

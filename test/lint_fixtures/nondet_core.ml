@@ -1,0 +1,21 @@
+(* gnrlint fixture — order/clock-dependent helpers.  scf.ml's solve
+   (a deterministic-surface root) reaches [pick] and [order_sum];
+   [free_float] is not reachable from any root and must not be
+   flagged.  Parsed, never compiled. *)
+
+(* Positive: global-state RNG, reachable from Scf.solve. *)
+let pick xs = List.nth xs (Random.int (List.length xs))
+
+(* Clean: explicit-state RNG is deterministic. *)
+let seeded st = Random.State.float st 1.0
+
+(* Positive: Hashtbl.fold order is unspecified, reachable from Scf.solve. *)
+let order_sum tbl = Hashtbl.fold (fun _ v acc -> v +. acc) tbl 0.
+
+(* Suppressed: deliberately accepted inline. *)
+let allowed_fold tbl =
+  (* gnrlint: allow nondet-path — fixture: deliberately accepted *)
+  Hashtbl.fold (fun _ v acc -> v +. acc) tbl 0.
+
+(* Clean: nondeterministic but unreachable from the surface. *)
+let free_float () = Random.float 1.0

@@ -1,0 +1,28 @@
+(* gnrlint fixture — parallel entry points whose closures reach the
+   mutable state declared in race_helper.ml.  Parsed, never compiled. *)
+
+let local_tbl : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* Positive: the closure calls Race_helper.bump, which writes the
+   top-level Hashtbl Race_helper.counts without a guard.  Only the
+   whole-repo call-graph pass can see this. *)
+let race_total xs =
+  Parallel.map_reduce ~init:0 (fun acc x -> Race_helper.bump x; acc + 1) ( + ) xs
+
+(* Positive: direct write inside the closure body to a top-level cell
+   of this module. *)
+let race_direct xs =
+  Parallel.map_reduce ~init:0 (fun acc x -> Hashtbl.replace local_tbl x 1; acc) ( + ) xs
+
+(* Suppressed: same race, deliberately accepted inline. *)
+let race_allowed xs =
+  (* gnrlint: allow domain-race — fixture: deliberately accepted *)
+  Parallel.map_reduce ~init:0 (fun acc x -> Race_helper.bump x; acc + 1) ( + ) xs
+
+(* Clean: the reached write is to an Atomic cell. *)
+let clean_atomic xs =
+  Parallel.map_reduce ~init:0 (fun acc _x -> Race_helper.bump_atomic (); acc) ( + ) xs
+
+(* Clean: the reached write is Mutex-guarded. *)
+let clean_locked xs =
+  Parallel.map_reduce ~init:0 (fun acc _x -> Race_helper.bump_locked (); acc) ( + ) xs

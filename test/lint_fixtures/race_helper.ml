@@ -1,0 +1,21 @@
+(* gnrlint fixture — cross-module mutable state.  The parallel entry
+   points live in race_driver.ml; the old per-file domain-capture rule
+   could not see writes routed through this module.  Parsed by the lint
+   tests only, never compiled. *)
+
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+let hits = Atomic.make 0
+let total = ref 0
+let mu = Mutex.create ()
+
+(* Unguarded write to a top-level Hashtbl: a race when called from a
+   parallel closure. *)
+let bump key =
+  let n = match Hashtbl.find_opt counts key with Some n -> n | None -> 0 in
+  Hashtbl.replace counts key (n + 1)
+
+(* Atomic cell: safe. *)
+let bump_atomic () = Atomic.incr hits
+
+(* Mutex-guarded write: safe (function-level guard detection). *)
+let bump_locked () = Mutex.protect mu (fun () -> total := !total + 1)

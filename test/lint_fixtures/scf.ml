@@ -1,0 +1,10 @@
+(* gnrlint fixture — named scf.ml so [solve] matches the deterministic
+   surface root "Scf.solve" (module name = capitalized basename).
+   Parsed, never compiled. *)
+
+let solve tbl xs st =
+  let a = Nondet_core.pick xs in
+  let b = Nondet_core.order_sum tbl in
+  let c = Nondet_core.seeded st in
+  let d = Nondet_core.allowed_fold tbl in
+  a +. b +. c +. d

@@ -1,0 +1,18 @@
+(* gnrlint fixture — span-balance cases.  Parsed, never compiled. *)
+
+let tm = Obs.Timer.make "fixture.timer"
+
+(* Positive: the invalid_arg path skips Obs.Timer.stop, losing the
+   sample. *)
+let bad_span x =
+  let t0 = Obs.Timer.start tm in
+  if x < 0 then invalid_arg "span_fixture: negative";
+  Obs.Timer.stop tm t0;
+  x + 1
+
+(* Clean: Fun.protect ~finally guarantees the stop. *)
+let good_span x =
+  let t0 = Obs.Timer.start tm in
+  Fun.protect ~finally:(fun () -> Obs.Timer.stop tm t0) @@ fun () ->
+  if x < 0 then invalid_arg "neg";
+  x + 1

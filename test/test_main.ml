@@ -20,4 +20,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);
+      ("lint", Test_lint.suite);
     ]

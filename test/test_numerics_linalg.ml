@@ -33,7 +33,9 @@ let test_matrix_inverse () =
 let test_matrix_singular () =
   let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
   match Matrix.lu_factor a with
-  | exception Failure _ -> ()
+  | exception Numerics_error.Singular { solver = "Matrix.lu_factor"; _ } -> ()
+  | exception Numerics_error.Singular { solver; _ } ->
+    Alcotest.failf "Singular from unexpected solver %s" solver
   | _ -> Alcotest.fail "expected singularity failure"
 
 let prop_matrix_solve_residual =

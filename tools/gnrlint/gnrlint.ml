@@ -1,601 +1,12 @@
-(* gnrlint — repo-specific AST linter for the GNRFET simulation stack.
+(* gnrlint — static analysis for the GNRFET tree.
 
-   Parses every .ml/.mli under the directories given on the command line
-   (default: lib bin test) with compiler-libs and enforces numerics- and
-   domain-safety rules that ordinary type checking cannot express.  The
-   NEGF/Poisson/MNA solvers are numerically fragile: a silent float `=`,
-   an unclamped `exp`, or an ad-hoc `1e-300` pivot floor corrupts I-V
-   tables long before any test notices.
+   Thin CLI over Gnrlint_lib: rule registry and diagnostics in
+   lib/diag.ml, source loading in lib/src.ml, per-file rules in
+   lib/rules_file.ml and lib/rules_flow.ml, the whole-repo call-graph /
+   capture-summary pass in lib/summary.ml with the interprocedural
+   rules in lib/rules_global.ml, versioned baseline in lib/baseline.ml
+   and the text/JSON/SARIF emitters in lib/report.ml.
 
-   Diagnostics are printed as `file:line:col: [rule-id] message`.  The
-   exit code is non-zero when violations are found that are neither
-   suppressed inline (`(* gnrlint: allow <rule-id> *)` on the offending
-   or preceding line; `allow-shared` is shorthand for the domain-capture
-   rule) nor recorded in the checked-in baseline file.
+   The same engine backs `gnrfet_cli lint`; see docs/LINT.md. *)
 
-   Rules (see docs/LINT.md for the full rationale):
-     float-eq        structural =/<>/==/!=/compare against a float literal
-     exp-log         unguarded exp/log in Fermi/NEGF paths
-     magic-tol       inline denormal-range tolerances (<= 1e-250) outside Tol
-     catch-all       `try ... with _ ->` swallowing every exception
-     silent-swallow  a `try` handler whose whole body is `()`
-     failwith-solver `failwith` in numerics/NEGF solver hot paths
-     assert-false    `assert false` as a match-arm body
-     domain-capture  Domain.spawn closures capturing mutable state
-     missing-mli     lib/**/*.ml without a corresponding .mli
-     ctx-labels      a ?parallel/?obs label pair without a ?ctx bundle *)
-
-open Parsetree
-open Ast_iterator
-
-type diagnostic = {
-  d_file : string;
-  d_line : int;
-  d_col : int;
-  d_rule : string;
-  d_msg : string;
-}
-
-let diag_to_string d =
-  Printf.sprintf "%s:%d:%d: [%s] %s" d.d_file d.d_line d.d_col d.d_rule d.d_msg
-
-let compare_diag a b =
-  match compare a.d_file b.d_file with
-  | 0 -> (
-    match compare a.d_line b.d_line with
-    | 0 -> (
-      match compare a.d_col b.d_col with
-      | 0 -> compare (a.d_rule, a.d_msg) (b.d_rule, b.d_msg)
-      | c -> c)
-    | c -> c)
-  | c -> c
-
-(* ------------------------------------------------------------------ *)
-(* Per-file linting context                                           *)
-(* ------------------------------------------------------------------ *)
-
-type ctx = {
-  file : string;  (* workspace-relative path used in diagnostics *)
-  lines : string array;  (* raw source lines, for suppression comments *)
-  diags : diagnostic list ref;
-  (* Textually preceding `let f = fun ... ->` bindings, so that
-     `Domain.spawn f` can be resolved to a closure body. *)
-  local_funs : (string, expression) Hashtbl.t;
-  (* Number of enclosing if/match constructs; used as a cheap "is this
-     expression guarded?" signal for the exp-log rule. *)
-  mutable guard_depth : int;
-}
-
-let in_dir dir file =
-  let prefix = dir ^ Filename.dir_sep in
-  String.length file >= String.length prefix
-  && String.sub file 0 (String.length prefix) = prefix
-
-let contains_substring hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
-
-(* A diagnostic on line L is suppressed by a `gnrlint: allow <ids>` (or
-   `allow-shared`) comment on line L or L-1. *)
-let suppressed ctx ~line ~rule =
-  let line_allows l =
-    if l < 1 || l > Array.length ctx.lines then false
-    else begin
-      let text = ctx.lines.(l - 1) in
-      contains_substring text "gnrlint:"
-      && (contains_substring text ("allow " ^ rule)
-          || contains_substring text ("allow-" ^ rule)
-          || (rule = "domain-capture" && contains_substring text "allow-shared"))
-    end
-  in
-  line_allows line || line_allows (line - 1)
-
-let report ctx loc rule msg =
-  let p = loc.Location.loc_start in
-  let line = p.Lexing.pos_lnum and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
-  if not (suppressed ctx ~line ~rule) then
-    ctx.diags :=
-      { d_file = ctx.file; d_line = line; d_col = col; d_rule = rule; d_msg = msg }
-      :: !(ctx.diags)
-
-(* ------------------------------------------------------------------ *)
-(* Syntactic helpers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let float_literal_value s =
-  match float_of_string_opt s with Some v -> v | None -> Float.nan
-
-(* A float literal, possibly under unary +/-.  Comparisons against an
-   exact 0.0 are exempt from the float-eq rule: zero is exactly
-   representable and `x = 0.` / `factor <> 0.` are deliberate sentinel
-   and skip-zero idioms throughout the numerics layer. *)
-let rec nonzero_float_literal e =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float (s, _)) -> float_literal_value s <> 0.
-  | Pexp_apply
-      ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "~+."); _ }; _ }, [ (_, arg) ]) ->
-    nonzero_float_literal arg
-  | _ -> false
-
-let ident_name e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident n; _ } -> Some n
-  | _ -> None
-
-(* Does the expression (an exp/log argument) syntactically contain a
-   clamp — Float.max/min/clamp or a local min/max — or is it constant? *)
-let arg_looks_clamped arg =
-  let found = ref false in
-  let it =
-    {
-      default_iterator with
-      expr =
-        (fun self e ->
-          (match e.pexp_desc with
-          | Pexp_constant _ -> found := true
-          | Pexp_ident { txt; _ } -> (
-            match Longident.flatten txt with
-            | [ "Float"; ("max" | "min" | "clamp") ]
-            | [ ("max" | "min" | "clamp") ]
-            | [ "Stdlib"; ("max" | "min") ] ->
-              found := true
-            | _ -> ())
-          | _ -> ());
-          default_iterator.expr self e);
-    }
-  in
-  it.expr it arg;
-  !found
-
-(* Names bound anywhere inside an expression (fun params, lets, match
-   patterns).  Used to decide whether a mutation target is captured. *)
-let bound_names expr =
-  let names = Hashtbl.create 32 in
-  let it =
-    {
-      default_iterator with
-      pat =
-        (fun self p ->
-          (match p.ppat_desc with
-          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> Hashtbl.replace names txt ()
-          | _ -> ());
-          default_iterator.pat self p);
-    }
-  in
-  it.expr it expr;
-  names
-
-(* Conservative scan of a closure passed to Domain.spawn: find writes
-   (`:=`, `a.(i) <- v`, record-field set, Hashtbl/Bytes mutation) whose
-   target identifier is captured from the enclosing scope.  Atomic.*
-   operations are exempt by construction (they never match the mutation
-   shapes below). *)
-let find_captured_mutation expr =
-  let bound = bound_names expr in
-  let found = ref None in
-  let note name loc = if !found = None then found := Some (name, loc) in
-  let check_target lhs loc =
-    match ident_name lhs with
-    | Some n when not (Hashtbl.mem bound n) -> note n loc
-    | _ -> ()
-  in
-  let it =
-    {
-      default_iterator with
-      expr =
-        (fun self e ->
-          (match e.pexp_desc with
-          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, lhs) :: _) -> (
-            match Longident.flatten txt with
-            | [ ":=" ]
-            | [ ("Array" | "Bytes" | "Bigarray"); ("set" | "unsafe_set" | "fill" | "blit") ]
-            | [ "Hashtbl"; ("add" | "replace" | "remove" | "reset" | "clear") ]
-            | [ "Buffer"; ("add_string" | "add_char" | "clear" | "reset") ] ->
-              check_target lhs e.pexp_loc
-            | _ -> ())
-          | Pexp_setfield (lhs, _, _) -> check_target lhs e.pexp_loc
-          | _ -> ());
-          default_iterator.expr self e);
-    }
-  in
-  it.expr it expr;
-  !found
-
-let rec strip_fun e =
-  match e.pexp_desc with
-  | Pexp_fun (_, _, _, body) -> strip_fun body
-  | Pexp_newtype (_, body) -> strip_fun body
-  | _ -> e
-
-(* ------------------------------------------------------------------ *)
-(* Rules                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let numerics_hot_path file = in_dir "lib/numerics" file || in_dir "lib/negf" file
-let fermi_negf_path file = in_dir "lib/physics" file || in_dir "lib/negf" file
-let is_tol_module file =
-  Filename.basename file = "tol.ml" || Filename.basename file = "tol.mli"
-
-let check_float_eq ctx e =
-  match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, [ (_, a); (_, b) ])
-    when (op = "=" || op = "<>" || op = "==" || op = "!=")
-         && (nonzero_float_literal a || nonzero_float_literal b) ->
-    report ctx e.pexp_loc "float-eq"
-      (Printf.sprintf
-         "structural `%s` against a nonzero float literal; compare with an explicit \
-          tolerance (e.g. Float.abs (x -. y) <= tol) instead"
-         op)
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, a); (_, b) ])
-    when (match Longident.flatten txt with
-         | [ "compare" ] | [ "Stdlib"; "compare" ] -> true
-         | _ -> false)
-         && (nonzero_float_literal a || nonzero_float_literal b) ->
-    report ctx e.pexp_loc "float-eq"
-      "polymorphic `compare` on a nonzero float literal; use Float.compare with \
-       explicit tolerance handling"
-  | _ -> ()
-
-let check_exp_log ctx e =
-  if fermi_negf_path ctx.file then
-    match e.pexp_desc with
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ]) -> (
-      match Longident.flatten txt with
-      | [ ("exp" | "log" | "log10" | "expm1" | "log1p") ]
-      | [ "Float"; ("exp" | "log" | "log10" | "expm1" | "log1p") ] ->
-        let fn = String.concat "." (Longident.flatten txt) in
-        if ctx.guard_depth = 0 && not (arg_looks_clamped arg) then
-          report ctx e.pexp_loc "exp-log"
-            (Printf.sprintf
-               "`%s` on an unguarded argument in a Fermi/NEGF path; clamp the exponent \
-                (Float.max/Float.min) or branch on its range to avoid overflow/NaN"
-               fn)
-      | _ -> ())
-    | _ -> ()
-
-let check_magic_tol ctx e =
-  if not (is_tol_module ctx.file) then
-    match e.pexp_desc with
-    | Pexp_constant (Pconst_float (s, _)) ->
-      let v = float_literal_value s in
-      if v > 0. && v <= 1e-250 then
-        report ctx e.pexp_loc "magic-tol"
-          (Printf.sprintf
-             "inline denormal-range tolerance %s; route it through Numerics.Tol so pivot \
-              and underflow floors stay consistent across solvers"
-             s)
-    | _ -> ()
-
-let check_catch_all ctx e =
-  match e.pexp_desc with
-  | Pexp_try (_, cases) ->
-    List.iter
-      (fun c ->
-        match (c.pc_lhs.ppat_desc, c.pc_guard) with
-        | Ppat_any, None ->
-          report ctx c.pc_lhs.ppat_loc "catch-all"
-            "`try ... with _ ->` swallows every exception (including Out_of_memory and \
-             Stack_overflow); match the specific exceptions you expect"
-        | _ -> ())
-      cases
-  | _ -> ()
-
-(* A handler that does literally nothing erases the failure: no counter,
-   no quarantine, no log line — the class of bug that let corrupt table
-   caches and failed store attempts vanish before PR 4.  Deliberate
-   ignores should use `match ... with exception` (which reads as a
-   decision, not a reflex) or bump an Obs counter. *)
-let check_silent_swallow ctx e =
-  match e.pexp_desc with
-  | Pexp_try (_, cases) ->
-    List.iter
-      (fun c ->
-        match c.pc_rhs.pexp_desc with
-        | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) ->
-          report ctx c.pc_rhs.pexp_loc "silent-swallow"
-            "exception handler silently swallows the failure (body is `()`); count it \
-             in an Obs counter, quarantine the artifact, or use `match ... with \
-             exception` to mark the ignore as deliberate"
-        | _ -> ())
-      cases
-  | _ -> ()
-
-let check_failwith ctx e =
-  if numerics_hot_path ctx.file then
-    match e.pexp_desc with
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-      match Longident.flatten txt with
-      | [ "failwith" ] | [ "Stdlib"; "failwith" ] ->
-        report ctx e.pexp_loc "failwith-solver"
-          "`failwith` in a solver hot path; prefer returning a typed `result` so SCF \
-           drivers can recover without string matching"
-      | _ -> ())
-    | _ -> ()
-
-let check_case_assert_false ctx c =
-  match c.pc_rhs.pexp_desc with
-  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ } ->
-    report ctx c.pc_rhs.pexp_loc "assert-false"
-      "`assert false` as a match-arm body; make the invariant explicit (refactor the \
-       type, or raise a named exception with context)"
-  | _ -> ()
-
-let check_domain_spawn ctx e =
-  match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, arg) :: _)
-    when Longident.flatten txt = [ "Domain"; "spawn" ] -> (
-    let resolved =
-      match arg.pexp_desc with
-      | Pexp_fun _ | Pexp_function _ -> Some arg
-      | Pexp_ident { txt = Longident.Lident name; _ } -> Hashtbl.find_opt ctx.local_funs name
-      | _ -> None
-    in
-    match resolved with
-    | None ->
-      report ctx e.pexp_loc "domain-capture"
-        "cannot statically verify this Domain.spawn closure; pass a literal `fun` (or a \
-         locally defined one) or annotate with (* gnrlint: allow-shared *)"
-    | Some f -> (
-      match find_captured_mutation (strip_fun f) with
-      | None -> ()
-      | Some (name, _) ->
-        report ctx e.pexp_loc "domain-capture"
-          (Printf.sprintf
-             "Domain.spawn closure mutates captured `%s`; spawned closures may only \
-              capture Atomic.t, immutable values, or index-disjoint arrays — if the \
-              access is disjoint, annotate with (* gnrlint: allow-shared *)"
-             name)))
-  | _ -> ()
-
-(* PR 5 made Ctx.t the canonical way to thread execution knobs: any
-   entry point taking both ?parallel and ?obs must also take ?ctx so
-   callers can pass one bundle instead of re-threading every label
-   (docs/API.md).  Flags definitions and signatures that grow the label
-   pair without the bundle; pre-Ctx wrappers live in the baseline. *)
-
-let ctx_label_set = [ "parallel"; "obs" ]
-
-let check_ctx_label_names ctx loc labels =
-  let has l = List.mem l labels in
-  if List.for_all has ctx_label_set && not (has "ctx") then
-    report ctx loc "ctx-labels"
-      "takes both ?parallel and ?obs but no ?ctx; accept ?ctx:Ctx.t and resolve \
-       with Ctx.resolve so callers can pass one execution-context bundle \
-       (docs/API.md)"
-
-let check_ctx_labels_binding ctx vb =
-  let rec labels acc e =
-    match e.pexp_desc with
-    | Pexp_fun (Optional l, _, _, body) -> labels (l :: acc) body
-    | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> labels acc body
-    | _ -> acc
-  in
-  match vb.pvb_pat.ppat_desc with
-  | Ppat_var _ ->
-    check_ctx_label_names ctx vb.pvb_pat.ppat_loc (labels [] vb.pvb_expr)
-  | _ -> ()
-
-let check_ctx_labels_value_description ctx vd =
-  let rec labels acc t =
-    match t.ptyp_desc with
-    | Ptyp_arrow (Optional l, _, rest) -> labels (l :: acc) rest
-    | Ptyp_arrow (_, _, rest) -> labels acc rest
-    | _ -> acc
-  in
-  check_ctx_label_names ctx vd.pval_loc (labels [] vd.pval_type)
-
-(* ------------------------------------------------------------------ *)
-(* Iterator plumbing                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let make_iterator ctx =
-  let expr self e =
-    check_float_eq ctx e;
-    check_exp_log ctx e;
-    check_magic_tol ctx e;
-    check_catch_all ctx e;
-    check_silent_swallow ctx e;
-    check_failwith ctx e;
-    check_domain_spawn ctx e;
-    match e.pexp_desc with
-    | Pexp_ifthenelse (cond, then_, else_) ->
-      self.expr self cond;
-      ctx.guard_depth <- ctx.guard_depth + 1;
-      self.expr self then_;
-      Option.iter (self.expr self) else_;
-      ctx.guard_depth <- ctx.guard_depth - 1
-    | Pexp_match (scrut, cases) ->
-      self.expr self scrut;
-      ctx.guard_depth <- ctx.guard_depth + 1;
-      List.iter (self.case self) cases;
-      ctx.guard_depth <- ctx.guard_depth - 1
-    | _ -> default_iterator.expr self e
-  in
-  let case self c =
-    check_case_assert_false ctx c;
-    default_iterator.case self c
-  in
-  let value_binding self vb =
-    (match vb.pvb_pat.ppat_desc with
-    | Ppat_var { txt; _ } -> Hashtbl.replace ctx.local_funs txt vb.pvb_expr
-    | _ -> ());
-    check_ctx_labels_binding ctx vb;
-    default_iterator.value_binding self vb
-  in
-  let value_description self vd =
-    check_ctx_labels_value_description ctx vd;
-    default_iterator.value_description self vd
-  in
-  { default_iterator with expr; case; value_binding; value_description }
-
-(* ------------------------------------------------------------------ *)
-(* File discovery and driving                                         *)
-(* ------------------------------------------------------------------ *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let split_lines s = Array.of_list (String.split_on_char '\n' s)
-
-(* Make a path workspace-relative: strip the --root prefix (the rule
-   runs from _build/default/tools/gnrlint with --root ../..). *)
-let normalize ~root path =
-  let prefix = root ^ Filename.dir_sep in
-  if root <> "." && String.length path > String.length prefix
-     && String.sub path 0 (String.length prefix) = prefix
-  then String.sub path (String.length prefix) (String.length path - String.length prefix)
-  else path
-
-let rec walk dir acc =
-  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
-  Array.sort compare entries;
-  Array.fold_left
-    (fun acc name ->
-      let path = Filename.concat dir name in
-      if Sys.is_directory path then
-        if String.length name > 0 && (name.[0] = '.' || name.[0] = '_') then acc
-        else walk path acc
-      else if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli" then
-        path :: acc
-      else acc)
-    acc entries
-
-let lint_file ~root diags path =
-  let file = normalize ~root path in
-  let source = read_file path in
-  let ctx =
-    {
-      file;
-      lines = split_lines source;
-      diags;
-      local_funs = Hashtbl.create 32;
-      guard_depth = 0;
-    }
-  in
-  let lexbuf = Lexing.from_string source in
-  Lexing.set_filename lexbuf file;
-  let it = make_iterator ctx in
-  try
-    if Filename.check_suffix path ".mli" then it.signature it (Parse.interface lexbuf)
-    else it.structure it (Parse.implementation lexbuf)
-  with exn ->
-    let loc =
-      match exn with
-      | Syntaxerr.Error err -> Syntaxerr.location_of_error err
-      | _ -> Location.none
-    in
-    report ctx loc "parse-error" (Printf.sprintf "failed to parse: %s" (Printexc.to_string exn))
-
-let check_missing_mli ~root diags files =
-  let files = List.map (normalize ~root) files in
-  let set = Hashtbl.create 128 in
-  List.iter (fun f -> Hashtbl.replace set f ()) files;
-  List.iter
-    (fun f ->
-      if in_dir "lib" f && Filename.check_suffix f ".ml" then begin
-        let mli = f ^ "i" in
-        if not (Hashtbl.mem set mli) then
-          diags :=
-            {
-              d_file = f;
-              d_line = 1;
-              d_col = 0;
-              d_rule = "missing-mli";
-              d_msg =
-                "library module has no interface file; add a .mli so the public surface \
-                 (and its documentation) is explicit";
-            }
-            :: !diags
-      end)
-    files
-
-(* ------------------------------------------------------------------ *)
-(* Baseline                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let load_baseline path =
-  if not (Sys.file_exists path) then []
-  else
-    read_file path |> String.split_on_char '\n'
-    |> List.filter_map (fun l ->
-         let l = String.trim l in
-         if l = "" || l.[0] = '#' then None else Some l)
-
-let write_baseline path diags =
-  let oc = open_out path in
-  output_string oc
-    "# gnrlint baseline — known pre-existing violations, one diagnostic per line.\n\
-     # New code must lint clean; remove entries as the debt is paid down.\n\
-     # Regenerate: dune exec tools/gnrlint/gnrlint.exe -- --baseline \
-     tools/gnrlint/baseline.txt --update-baseline lib bin test\n";
-  List.iter (fun d -> output_string oc (diag_to_string d ^ "\n")) diags;
-  close_out oc
-
-(* ------------------------------------------------------------------ *)
-(* Main                                                               *)
-(* ------------------------------------------------------------------ *)
-
-let () =
-  let baseline_path = ref "" in
-  let update_baseline = ref false in
-  let root = ref "." in
-  let dirs = ref [] in
-  let spec =
-    [
-      ("--baseline", Arg.Set_string baseline_path, "FILE baseline of accepted violations");
-      ("--update-baseline", Arg.Set update_baseline, " rewrite the baseline with current findings");
-      ("--root", Arg.Set_string root, "DIR workspace root; stripped from reported paths");
-    ]
-  in
-  Arg.parse spec (fun d -> dirs := d :: !dirs) "gnrlint [options] DIR...";
-  if !update_baseline && !baseline_path = "" then begin
-    prerr_endline "gnrlint: --update-baseline requires --baseline FILE";
-    exit 2
-  end;
-  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "test" ] | ds -> ds in
-  List.iter
-    (fun d ->
-      if not (Sys.file_exists d && Sys.is_directory d) then begin
-        Printf.eprintf "gnrlint: no such directory: %s\n" d;
-        exit 2
-      end)
-    dirs;
-  let files = List.fold_left (fun acc d -> walk d acc) [] dirs |> List.sort compare in
-  let diags = ref [] in
-  List.iter (lint_file ~root:!root diags) files;
-  check_missing_mli ~root:!root diags files;
-  let diags = List.sort_uniq compare_diag !diags in
-  if !update_baseline && !baseline_path <> "" then begin
-    write_baseline !baseline_path diags;
-    Printf.printf "gnrlint: wrote %d baseline entr%s to %s\n" (List.length diags)
-      (if List.length diags = 1 then "y" else "ies")
-      !baseline_path;
-    exit 0
-  end;
-  let baseline = load_baseline !baseline_path in
-  let in_baseline = Hashtbl.create 64 in
-  List.iter (fun l -> Hashtbl.replace in_baseline l ()) baseline;
-  let fresh = List.filter (fun d -> not (Hashtbl.mem in_baseline (diag_to_string d))) diags in
-  let current = Hashtbl.create 64 in
-  List.iter (fun d -> Hashtbl.replace current (diag_to_string d) ()) diags;
-  let stale = List.filter (fun l -> not (Hashtbl.mem current l)) baseline in
-  List.iter (fun d -> print_endline (diag_to_string d)) fresh;
-  if stale <> [] then begin
-    Printf.eprintf
-      "gnrlint: %d stale baseline entr%s (fixed or moved) — consider --update-baseline:\n"
-      (List.length stale)
-      (if List.length stale = 1 then "y" else "ies");
-    List.iter (fun l -> Printf.eprintf "  %s\n" l) stale
-  end;
-  Printf.eprintf "gnrlint: %d file%s, %d finding%s (%d baselined, %d new)\n" (List.length files)
-    (if List.length files = 1 then "" else "s")
-    (List.length diags)
-    (if List.length diags = 1 then "" else "s")
-    (List.length diags - List.length fresh)
-    (List.length fresh);
-  exit (if fresh = [] then 0 else 1)
+let () = exit (Gnrlint_lib.Engine.run_cli ~prog:"gnrlint" Sys.argv)

@@ -1,0 +1,92 @@
+(* Versioned baseline: accepted findings, one rendered diagnostic per
+   line (`file:line:col: [rule@vN] message`).  Matching is exact-string
+   on the rendered form, so moving a finding or bumping a rule's
+   version invalidates the entry.
+
+   Classification of baseline entries against the current run:
+   - matched: entry == a current finding (finding is accepted)
+   - version-stale: same file/position/rule but the rule's version (or
+     the message) changed — the rule was tightened; re-review, then
+     --update-baseline
+   - stale: nothing at that position any more — the finding was fixed;
+     --update-baseline to drop the entry *)
+
+type entry = { raw : string; e_file_pos_rule : string option }
+
+(* "lib/x.ml:12:4: [float-eq@v1] msg" -> "lib/x.ml:12:4: [float-eq"
+   (position + rule id, version and message stripped) for the
+   version-stale comparison. *)
+let file_pos_rule line =
+  match String.index_opt line '[' with
+  | None -> None
+  | Some i -> (
+    let rest = String.sub line i (String.length line - i) in
+    match String.index_opt rest '@' with
+    | None -> None
+    | Some j -> Some (String.sub line 0 i ^ String.sub rest 0 j))
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        let t = String.trim line in
+        if t = "" || String.length t >= 1 && t.[0] = '#' then go acc
+        else go ({ raw = t; e_file_pos_rule = file_pos_rule t } :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  end
+
+type check = {
+  fresh : Diag.t list;  (* findings not in the baseline: these fail the run *)
+  accepted : Diag.t list;
+  version_stale : string list;  (* baseline lines outdated by a rule-version bump *)
+  stale : string list;  (* baseline lines with no current finding at all *)
+}
+
+let check entries diags =
+  let rendered = List.map (fun d -> (Diag.to_string d, d)) diags in
+  let current = Hashtbl.create 64 in
+  List.iter (fun (s, _) -> Hashtbl.replace current s ()) rendered;
+  let current_fpr = Hashtbl.create 64 in
+  List.iter
+    (fun (s, _) ->
+      match file_pos_rule s with Some k -> Hashtbl.replace current_fpr k () | None -> ())
+    rendered;
+  let baseline_set = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace baseline_set e.raw ()) entries;
+  let fresh, accepted =
+    List.partition (fun (s, _) -> not (Hashtbl.mem baseline_set s)) rendered
+  in
+  let version_stale, stale =
+    List.filter (fun e -> not (Hashtbl.mem current e.raw)) entries
+    |> List.partition (fun e ->
+           match e.e_file_pos_rule with
+           | Some k -> Hashtbl.mem current_fpr k
+           | None -> false)
+  in
+  {
+    fresh = List.map snd fresh;
+    accepted = List.map snd accepted;
+    version_stale = List.map (fun e -> e.raw) version_stale;
+    stale = List.map (fun e -> e.raw) stale;
+  }
+
+let write path diags =
+  let oc = open_out path in
+  output_string oc
+    "# gnrlint baseline — accepted findings, one per line.\n\
+     # Format: file:line:col: [rule@vN] message (vN = rule version the\n\
+     # entry was accepted under; bumping a rule's version invalidates\n\
+     # only that rule's entries).  Regenerate with --update-baseline.\n";
+  List.iter
+    (fun d ->
+      output_string oc (Diag.to_string d);
+      output_char oc '\n')
+    diags;
+  close_out oc

@@ -1,0 +1,251 @@
+(* Output formats: text (default), JSON ("gnrfet-lint" schema v2) and
+   SARIF 2.1.0.  JSON is emitted from a tiny value tree so the escaping
+   logic lives in one place; no external JSON dependency. *)
+
+type json =
+  | S of string
+  | I of int
+  | B of bool
+  | L of json list
+  | O of (string * json) list
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_buffer b json =
+  let rec go ind j =
+    match j with
+    | S s ->
+      Buffer.add_char b '"';
+      buf_escape b s;
+      Buffer.add_char b '"'
+    | I n -> Buffer.add_string b (string_of_int n)
+    | B v -> Buffer.add_string b (string_of_bool v)
+    | L [] -> Buffer.add_string b "[]"
+    | L items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (String.make (ind + 2) ' ');
+          go (ind + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make ind ' ');
+      Buffer.add_char b ']'
+    | O [] -> Buffer.add_string b "{}"
+    | O fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (String.make (ind + 2) ' ');
+          Buffer.add_char b '"';
+          buf_escape b k;
+          Buffer.add_string b "\": ";
+          go (ind + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make ind ' ');
+      Buffer.add_char b '}'
+  in
+  go 0 json;
+  Buffer.add_char b '\n'
+
+let render json =
+  let b = Buffer.create 4096 in
+  to_buffer b json;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let diag_json (d : Diag.t) ~accepted =
+  O
+    [
+      ("file", S d.Diag.d_file);
+      ("line", I d.Diag.d_line);
+      ("col", I d.Diag.d_col);
+      ("rule", S d.Diag.d_rule);
+      ("ruleVersion", I (Diag.rule_version d.Diag.d_rule));
+      ("severity", S (Diag.severity_to_string (Diag.rule_severity d.Diag.d_rule)));
+      ("message", S d.Diag.d_msg);
+      ("baselined", B accepted);
+    ]
+
+let json_report (check : Baseline.check) =
+  render
+    (O
+       [
+         ("schema", S "gnrfet-lint-v2");
+         ( "rules",
+           L
+             (List.map
+                (fun (r : Diag.rule) ->
+                  O
+                    [
+                      ("id", S r.Diag.id);
+                      ("version", I r.Diag.version);
+                      ("severity", S (Diag.severity_to_string r.Diag.severity));
+                      ("summary", S r.Diag.summary);
+                    ])
+                Diag.rules) );
+         ("findings", L (List.map (diag_json ~accepted:false) check.Baseline.fresh));
+         ("baselined", L (List.map (diag_json ~accepted:true) check.Baseline.accepted));
+         ("versionStaleBaseline", L (List.map (fun s -> S s) check.Baseline.version_stale));
+         ("staleBaseline", L (List.map (fun s -> S s) check.Baseline.stale));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0.  Minimal but schema-conformant: version + runs, each
+   run carrying tool.driver (name/rules) and results with ruleId,
+   level, message.text and one physicalLocation.  Baseline-accepted
+   findings are included with baselineState "unchanged" so viewers can
+   filter them; fresh findings carry "new". *)
+
+let sarif_level = function
+  | Diag.Error -> "error"
+  | Diag.Warning -> "warning"
+  | Diag.Note -> "note"
+
+let sarif_result (d : Diag.t) ~state =
+  O
+    [
+      ("ruleId", S d.Diag.d_rule);
+      ("level", S (sarif_level (Diag.rule_severity d.Diag.d_rule)));
+      ("message", O [ ("text", S d.Diag.d_msg) ]);
+      ( "locations",
+        L
+          [
+            O
+              [
+                ( "physicalLocation",
+                  O
+                    [
+                      ( "artifactLocation",
+                        O [ ("uri", S d.Diag.d_file); ("uriBaseId", S "SRCROOT") ] );
+                      ( "region",
+                        O
+                          [
+                            ("startLine", I d.Diag.d_line);
+                            (* Diag columns are 0-based (compiler-libs
+                               convention); SARIF columns are 1-based. *)
+                            ("startColumn", I (d.Diag.d_col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+      ("baselineState", S state);
+    ]
+
+let sarif_report (check : Baseline.check) =
+  render
+    (O
+       [
+         ( "$schema",
+           S
+             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+         );
+         ("version", S "2.1.0");
+         ( "runs",
+           L
+             [
+               O
+                 [
+                   ( "tool",
+                     O
+                       [
+                         ( "driver",
+                           O
+                             [
+                               ("name", S "gnrlint");
+                               ("version", S "2.0.0");
+                               ("informationUri", S "docs/LINT.md");
+                               ( "rules",
+                                 L
+                                   (List.map
+                                      (fun (r : Diag.rule) ->
+                                        O
+                                          [
+                                            ("id", S r.Diag.id);
+                                            ( "shortDescription",
+                                              O [ ("text", S r.Diag.summary) ] );
+                                            ( "fullDescription",
+                                              O [ ("text", S r.Diag.help) ] );
+                                            ( "defaultConfiguration",
+                                              O
+                                                [
+                                                  ( "level",
+                                                    S (sarif_level r.Diag.severity) );
+                                                ] );
+                                            ( "properties",
+                                              O [ ("version", I r.Diag.version) ] );
+                                          ])
+                                      Diag.rules) );
+                             ] );
+                       ] );
+                   ( "originalUriBaseIds",
+                     O [ ("SRCROOT", O [ ("uri", S "file:///") ]) ] );
+                   ( "results",
+                     L
+                       (List.map (sarif_result ~state:"new") check.Baseline.fresh
+                       @ List.map (sarif_result ~state:"unchanged") check.Baseline.accepted)
+                   );
+                 ];
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+let text_report (check : Baseline.check) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Diag.to_string d);
+      Buffer.add_char b '\n')
+    check.Baseline.fresh;
+  if check.Baseline.version_stale <> [] then begin
+    Buffer.add_string b
+      "\ngnrlint: baseline entries outdated by a rule-version bump (re-review, then \
+       --update-baseline):\n";
+    List.iter (fun s -> Buffer.add_string b ("  " ^ s ^ "\n")) check.Baseline.version_stale
+  end;
+  if check.Baseline.stale <> [] then begin
+    Buffer.add_string b
+      "\ngnrlint: stale baseline entries (fixed findings; refresh with --update-baseline):\n";
+    List.iter (fun s -> Buffer.add_string b ("  " ^ s ^ "\n")) check.Baseline.stale
+  end;
+  Buffer.contents b
+
+(* Per-rule counts over fresh + accepted findings, for the CI summary
+   table.  Rows are emitted for every registered rule with a nonzero
+   count, in registry order. *)
+let summary_table (check : Baseline.check) =
+  let count rule l = List.length (List.filter (fun d -> d.Diag.d_rule = rule) l) in
+  let rows =
+    List.filter_map
+      (fun (r : Diag.rule) ->
+        let fresh = count r.Diag.id check.Baseline.fresh in
+        let accepted = count r.Diag.id check.Baseline.accepted in
+        if fresh = 0 && accepted = 0 then None
+        else Some (r.Diag.id, Diag.severity_to_string r.Diag.severity, fresh, accepted))
+      Diag.rules
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-16s %-8s %6s %10s\n" "rule" "sev" "fresh" "baselined");
+  List.iter
+    (fun (id, sev, fresh, accepted) ->
+      Buffer.add_string b (Printf.sprintf "%-16s %-8s %6d %10d\n" id sev fresh accepted))
+    rows;
+  if rows = [] then Buffer.add_string b "(no findings)\n";
+  Buffer.contents b

@@ -1,0 +1,182 @@
+(* Flow-approximate per-function rules: lock-safety and span-balance.
+
+   Both rules share one model: collect begin/end/raise events in source
+   order inside each top-level binding, then walk them linearly keeping
+   a pending set.  A raise-family call while a lock (timer) is pending
+   means the unlock (stop) is not guaranteed on that exception path; a
+   pending entry at the end of the function means it is never released
+   at all.
+
+   The linear walk is a deliberate approximation (docs/LINT.md): both
+   arms of a conditional appear sequentially, so an unlock in either arm
+   clears the pending entry (the pending count clamps at one per
+   target), and only *syntactic* raise-family calls (`raise`,
+   `raise_notrace`, `failwith`, `invalid_arg`, `assert`,
+   `Robust_error.raise_`) count as exception sources — a callee that
+   throws is invisible.  Two escapes are recognized as safe by
+   construction and exempt their target everywhere in the function:
+   `Mutex.protect` (never produces a lock event) and `Fun.protect`
+   whose [~finally] contains the matching `Mutex.unlock` /
+   `Obs.Timer.stop`. *)
+
+open Parsetree
+open Ast_iterator
+
+type event =
+  | Lock of string * Location.t
+  | Unlock of string
+  | Start of string * Location.t
+  | Stop of string
+  | Raise of Location.t
+
+(* The syntactic handle a lock/timer is addressed through: an identifier
+   path (`mu`, `t.mu`, `pool.mutex`) rendered as a dotted string.  Two
+   textually identical handles are assumed to be the same object within
+   one function. *)
+let rec handle e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (Longident.flatten txt)
+  | Pexp_field (b, { txt; _ }) -> handle b ^ "." ^ String.concat "." (Longident.flatten txt)
+  | Pexp_constraint (e, _) -> handle e
+  | _ -> "<expr>"
+
+let drop_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let raising_idents = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg"; "failwithf"; "raise_" ]
+
+type collector = {
+  mutable events : event list;  (* reversed *)
+  mutable protected_mutexes : string list;
+  mutable protected_timers : string list;
+}
+
+let scan_finally c fin =
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, a) :: _) -> (
+            match drop_stdlib (Longident.flatten txt) with
+            | [ "Mutex"; "unlock" ] -> c.protected_mutexes <- handle a :: c.protected_mutexes
+            | [ "Timer"; "stop" ] | [ "Obs"; "Timer"; "stop" ] | [ "Span"; "exit" ] ->
+              c.protected_timers <- handle a :: c.protected_timers
+            | _ -> ())
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  it.expr it fin
+
+let collect expr =
+  let c = { events = []; protected_mutexes = []; protected_timers = [] } in
+  let push ev = c.events <- ev :: c.events in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            (match drop_stdlib (Longident.flatten txt) with
+            | [ "Fun"; "protect" ] ->
+              List.iter
+                (function
+                  | Asttypes.Labelled "finally", fin -> scan_finally c fin
+                  | _ -> ())
+                args
+            | _ -> ());
+            match (drop_stdlib (Longident.flatten txt), args) with
+            | [ "Mutex"; "lock" ], (_, a) :: _ -> push (Lock (handle a, e.pexp_loc))
+            | [ "Mutex"; "unlock" ], (_, a) :: _ -> push (Unlock (handle a))
+            | ([ "Timer"; "start" ] | [ "Obs"; "Timer"; "start" ] | [ "Span"; "enter" ]), (_, a) :: _
+              ->
+              push (Start (handle a, e.pexp_loc))
+            | ([ "Timer"; "stop" ] | [ "Obs"; "Timer"; "stop" ] | [ "Span"; "exit" ]), (_, a) :: _
+              ->
+              push (Stop (handle a))
+            | _ -> (
+              match List.rev (Longident.flatten txt) with
+              | last :: _ when List.mem last raising_idents -> push (Raise e.pexp_loc)
+              | _ -> ()))
+          | Pexp_assert _ -> push (Raise e.pexp_loc)
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  c
+
+(* Walk the events for one begin/end pair family.  [what] names the
+   construct in messages. *)
+let scan ~report ~protected ~what ~advice events =
+  let pending : (string, Location.t * bool ref) Hashtbl.t = Hashtbl.create 4 in
+  let begin_ target loc =
+    if (not (List.mem target protected)) && not (Hashtbl.mem pending target) then
+      Hashtbl.replace pending target (loc, ref false)
+  in
+  let end_ target = Hashtbl.remove pending target in
+  let raise_ rloc =
+    Hashtbl.iter
+      (fun target (bloc, reported) ->
+        if not !reported then begin
+          reported := true;
+          report bloc
+            (Printf.sprintf
+               "%s `%s` is still held when the raise on line %d fires, so the %s is \
+                skipped on that exception path; %s"
+               (fst what) target rloc.Location.loc_start.Lexing.pos_lnum (snd what) advice)
+        end)
+      pending
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Lock (t, l) | Start (t, l) -> begin_ t l
+      | Unlock t | Stop t -> end_ t
+      | Raise l -> raise_ l)
+    events;
+  Hashtbl.iter
+    (fun target (bloc, reported) ->
+      if not !reported then
+        report bloc
+          (Printf.sprintf "%s `%s` has no matching %s anywhere in this function; %s"
+             (fst what) target (snd what) advice))
+    pending
+
+let lint_binding ~report_lock ~report_span expr =
+  let c = collect expr in
+  let events = List.rev c.events in
+  let locks =
+    List.filter (function Lock _ | Unlock _ | Raise _ -> true | _ -> false) events
+  in
+  let spans =
+    List.filter (function Start _ | Stop _ | Raise _ -> true | _ -> false) events
+  in
+  scan ~report:report_lock ~protected:c.protected_mutexes
+    ~what:("Mutex.lock on", "unlock")
+    ~advice:
+      "use Mutex.protect, or Fun.protect ~finally:(fun () -> Mutex.unlock m) around the \
+       critical section"
+    locks;
+  scan ~report:report_span ~protected:c.protected_timers
+    ~what:("timer/span begun on", "stop")
+    ~advice:
+      "use Obs.Span.run, or Fun.protect ~finally:(fun () -> Obs.Timer.stop t t0) so the \
+       sample is recorded on every path"
+    spans
+
+let lint ~report (file : Src.file) =
+  let report_lock loc msg = report loc "lock-safety" msg in
+  let report_span loc msg = report loc "span-balance" msg in
+  let rec structure str = List.iter item str
+  and item si =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter (fun vb -> lint_binding ~report_lock ~report_span vb.pvb_expr) vbs
+    | Pstr_eval (e, _) -> lint_binding ~report_lock ~report_span e
+    | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } -> structure s
+    | _ -> ()
+  in
+  match file.Src.ast with Src.Structure str -> structure str | _ -> ()

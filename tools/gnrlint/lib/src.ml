@@ -1,0 +1,104 @@
+(* Source loading: file discovery, parsing with compiler-libs, and the
+   inline-suppression comment scan.  Every file is read and parsed once;
+   the per-file rules and the whole-repo summary pass share the AST. *)
+
+type ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Parse_failed of exn * Location.t
+
+type file = {
+  path : string;  (* workspace-relative, used in diagnostics *)
+  lines : string array;
+  ast : ast;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let split_lines s = Array.of_list (String.split_on_char '\n' s)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let in_dir dir file =
+  let prefix = dir ^ Filename.dir_sep in
+  String.length file >= String.length prefix
+  && String.sub file 0 (String.length prefix) = prefix
+
+(* Make a path workspace-relative: strip the --root prefix (the dune
+   rule runs from _build/default/tools/gnrlint with --root ../..). *)
+let normalize ~root path =
+  let prefix = root ^ Filename.dir_sep in
+  if
+    root <> "." && root <> ""
+    && String.length path > String.length prefix
+    && String.sub path 0 (String.length prefix) = prefix
+  then String.sub path (String.length prefix) (String.length path - String.length prefix)
+  else path
+
+(* Directories whose basename is in [exclude] are skipped entirely —
+   the lint-rule fixture corpus under test/lint_fixtures/ contains
+   deliberate violations and must never count against the repo. *)
+let rec walk ~exclude dir acc =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then
+        if
+          String.length name > 0
+          && (name.[0] = '.' || name.[0] = '_' || List.mem name exclude)
+        then acc
+        else walk ~exclude path acc
+      else if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+      then path :: acc
+      else acc)
+    acc entries
+
+let discover ~exclude dirs =
+  List.fold_left (fun acc d -> walk ~exclude d acc) [] dirs |> List.sort compare
+
+let load ~root raw_path =
+  let path = normalize ~root raw_path in
+  let source = read_file raw_path in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  let ast =
+    try
+      if Filename.check_suffix raw_path ".mli" then
+        Signature (Parse.interface lexbuf)
+      else Structure (Parse.implementation lexbuf)
+    with exn ->
+      let loc =
+        match exn with
+        | Syntaxerr.Error err -> Syntaxerr.location_of_error err
+        | _ -> Location.none
+      in
+      Parse_failed (exn, loc)
+  in
+  { path; lines = split_lines source; ast }
+
+(* A diagnostic on line L is suppressed by a `gnrlint: allow <ids>` (or
+   the legacy `allow-shared`, kept as an alias for domain-race) comment
+   on line L or L-1.  Suppressions are expected to carry a one-line
+   justification in the same comment. *)
+let suppressed file ~line ~rule =
+  let line_allows l =
+    if l < 1 || l > Array.length file.lines then false
+    else begin
+      let text = file.lines.(l - 1) in
+      contains_substring text "gnrlint:"
+      && (contains_substring text ("allow " ^ rule)
+          || contains_substring text ("allow-" ^ rule)
+          || (rule = "domain-race" && contains_substring text "allow-shared"))
+    end
+  in
+  line_allows line || line_allows (line - 1)
