@@ -14,7 +14,7 @@
                                comma-separated substrings (CI smoke runs
                                the table-free SCF kernels this way)
      GNRFET_BENCH_JSON=path    where to write the report
-                               (default BENCH_PR5.json)
+                               (default BENCH_PR7.json)
      GNRFET_DOMAINS=n          worker-pool width for the parallel runs
      GNRFET_OBS=0              disable the observability counters (on by
                                default in the bench harness; the snapshot
@@ -104,6 +104,71 @@ let serve_sweep () =
     Obs.counter_value ~obs "serve.lru_hits",
     Obs.counter_value ~obs "serve.requests" )
 
+(* PR 7 block-RGF fast path: a synthetic wide-ribbon-scale device —
+   [block_nb] blocks of [block_m] orbitals, random hermitian on-block
+   Hamiltonians and complex couplings, absorbing self-energies
+   Σ = H_s - 0.15i·I (so Γ = 0.3·I is safely positive) — swept over
+   [block_ne] energies.  Deterministic seed so the naive-vs-fast
+   comparison below times identical work across runs. *)
+let block_nb = 24
+
+let block_m = 26
+
+let block_ne = 220
+
+let block_device =
+  lazy
+    (let st = Random.State.make [| 0x7b10c6 |] in
+     let rc lo hi = lo +. ((hi -. lo) *. Random.State.float st 1.) in
+     let herm scale =
+       let a = Array.make_matrix block_m block_m Complex.zero in
+       for i = 0 to block_m - 1 do
+         a.(i).(i) <- { Complex.re = rc (-.scale) scale; im = 0. };
+         for j = i + 1 to block_m - 1 do
+           let v = { Complex.re = rc (-.scale) scale; im = rc (-.scale) scale } in
+           a.(i).(j) <- v;
+           a.(j).(i) <- Complex.conj v
+         done
+       done;
+       Cmatrix.init block_m block_m (fun i j -> a.(i).(j))
+     in
+     let general scale =
+       let a = Array.make_matrix block_m block_m Complex.zero in
+       for i = 0 to block_m - 1 do
+         for j = 0 to block_m - 1 do
+           a.(i).(j) <- { Complex.re = rc (-.scale) scale; im = rc (-.scale) scale }
+         done
+       done;
+       Cmatrix.init block_m block_m (fun i j -> a.(i).(j))
+     in
+     let absorbing () =
+       let base = herm 0.05 in
+       Cmatrix.init block_m block_m (fun i j ->
+           let v = Cmatrix.get base i j in
+           if i = j then { v with Complex.im = v.Complex.im -. 0.15 } else v)
+     in
+     {
+       Rgf_block.blocks = Array.init block_nb (fun _ -> herm 0.4);
+       couplings = Array.init (block_nb - 1) (fun _ -> general 0.25);
+       sigma_l = absorbing ();
+       sigma_r = absorbing ();
+     })
+
+let block_egrid =
+  Array.init block_ne (fun k -> -1. +. (2. *. float_of_int k /. float_of_int (block_ne - 1)))
+
+(* Smaller grid for the (4-sweep) spectra kernel so one Bechamel run
+   stays well inside the quota. *)
+let block_sp_ne = 60
+
+let block_sp_egrid =
+  Array.init block_sp_ne (fun k ->
+      -1. +. (2. *. float_of_int k /. float_of_int (block_sp_ne - 1)))
+
+(* Persistent workspace: Bechamel then times steady-state reuse, which
+   is the contract the zero-alloc claim is made under. *)
+let block_ws = Rgf_block.workspace ()
+
 let all_kernels : (string * (unit -> float)) list =
   [
     ("fig2a:scf-iv-sweep", Exp_fig2a.bench_kernel);
@@ -162,6 +227,20 @@ let all_kernels : (string * (unit -> float)) list =
       fun () ->
         let _, coalesced, _, _ = serve_sweep () in
         float_of_int coalesced );
+    (* PR 7 block-RGF fast path (docs/PERF.md, "block kernel layer"). *)
+    ( "rgf-block:transmission-sweep",
+      fun () ->
+        let dev = Lazy.force block_device in
+        let out = Rgf_block.transmission_sweep ~egrid:block_egrid (fun _ -> dev) in
+        out.(block_ne / 2) );
+    ( "rgf-block:spectra-sweep",
+      fun () ->
+        let dev = Lazy.force block_device in
+        let acc = ref 0. in
+        for k = 0 to block_sp_ne - 1 do
+          acc := !acc +. Rgf_block.spectra_into block_ws dev block_sp_egrid.(k)
+        done;
+        !acc );
   ]
 
 let kernels =
@@ -186,7 +265,8 @@ let kernels =
 (* The kernels whose cost is the per-energy NEGF loop: timed twice, with
    the energy loop forced sequential (GNRFET_DOMAINS=1) and with the
    pool at full width, to track the tentpole speedup. *)
-let energy_loop_kernels = [ "fig2a:scf-iv-sweep"; "fig5:impurity-scf" ]
+let energy_loop_kernels =
+  [ "fig2a:scf-iv-sweep"; "fig5:impurity-scf"; "rgf-block:transmission-sweep" ]
 
 (* Plain wall-clock best-of-r timing for the before/after comparison
    (Bechamel owns the per-kernel steady-state numbers; here we want the
@@ -199,6 +279,19 @@ let time_ms ?(repeat = 3) kernel =
     best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1e3)
   done;
   !best
+
+(* GC allocation profile of one kernel run (words, via quick_stat
+   deltas after a full major collection): the bench-v4 schema carries
+   these next to the timing so allocation regressions — the thing the
+   PR 7 in-place kernels exist to prevent — show up in the artifact. *)
+let gc_stats kernel =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  ignore (Sys.opaque_identity (kernel ()));
+  let s1 = Gc.quick_stat () in
+  ( s1.Gc.minor_words -. s0.Gc.minor_words,
+    s1.Gc.major_words -. s0.Gc.major_words,
+    s1.Gc.promoted_words -. s0.Gc.promoted_words )
 
 let run_benchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -216,14 +309,17 @@ let run_benchmarks () =
           (Staged.stage (fun () -> ignore (Sys.opaque_identity (kernel ()))))
       in
       let results = Benchmark.all cfg [ instance ] test in
+      let gc = gc_stats kernel in
       Hashtbl.fold
         (fun name m acc ->
           let analysis = Analyze.one ols instance m in
           match Analyze.OLS.estimates analysis with
           | Some [ est ] ->
             let ms = est /. 1e6 in
-            Printf.printf "  %-28s %12.3f ms/run\n%!" name ms;
-            (name, ms) :: acc
+            let minor, _, _ = gc in
+            Printf.printf "  %-28s %12.3f ms/run  %12.0f minor words/run\n%!"
+              name ms minor;
+            (name, ms, gc) :: acc
           | Some _ | None ->
             Printf.printf "  %-28s (no estimate)\n%!" name;
             acc)
@@ -248,6 +344,112 @@ let run_energy_loop_comparison () =
           seq_ms par_ms speedup;
         (name, seq_ms, par_ms, speedup))
       pairs
+  end
+
+(* Naive-vs-fast block RGF on the synthetic device above: wall-clock
+   best-of for the naive Cmatrix reference, the Zdense fast path forced
+   sequential, and the fast path over the pool — plus the per-energy
+   steady-state GC profile of a warm single-workspace sweep, which is
+   the "zero-alloc per energy" acceptance number.  Skipped when the
+   kernel filter selects no rgf-block kernel. *)
+type block_rgf_result = {
+  br_naive_ms : float;
+  br_fast_seq_ms : float;
+  br_fast_par_ms : float;
+  br_sp_naive_ms : float;
+  br_sp_fast_ms : float;
+  br_minor_per_e : float;
+  br_major_per_e : float;
+  br_promoted_per_e : float;
+  br_max_rel_diff : float;
+}
+
+let run_block_rgf_comparison () =
+  if
+    not
+      (List.exists
+         (fun (name, _) ->
+           String.length name >= 9 && String.sub name 0 9 = "rgf-block")
+         kernels)
+  then None
+  else begin
+    Printf.printf
+      "\n== block RGF: naive Cmatrix reference vs Zdense fast path ==\n%!";
+    Printf.printf "   device: %d blocks x %d orbitals, %d energies\n%!" block_nb
+      block_m block_ne;
+    let dev = Lazy.force block_device in
+    let naive () =
+      Array.fold_left
+        (fun acc e -> acc +. Rgf_block.transmission dev e)
+        0. block_egrid
+    in
+    let fast () =
+      let out = Rgf_block.transmission_sweep ~egrid:block_egrid (fun _ -> dev) in
+      Array.fold_left ( +. ) 0. out
+    in
+    (* Cross-check while we are here: the two paths must agree. *)
+    let max_rel_diff =
+      let ws = Rgf_block.workspace () in
+      Array.fold_left
+        (fun acc e ->
+          let tn = Rgf_block.transmission dev e in
+          let tf = Rgf_block.transmission_into ws dev e in
+          Float.max acc (Float.abs (tn -. tf) /. Float.max 1. (Float.abs tn)))
+        0.
+        (Array.sub block_egrid 0 8)
+    in
+    let naive_ms = time_ms ~repeat:2 naive in
+    let fast_seq_ms = with_env "GNRFET_DOMAINS" "1" (fun () -> time_ms fast) in
+    let fast_par_ms = time_ms fast in
+    Printf.printf
+      "   transmission: naive %10.1f ms   fast(seq) %8.1f ms   fast(par) \
+       %8.1f ms   %.2fx\n%!"
+      naive_ms fast_seq_ms fast_par_ms (naive_ms /. fast_seq_ms);
+    let sp_naive () =
+      Array.fold_left
+        (fun acc e -> acc +. (Rgf_block.spectra dev e).Rgf_block.t_coh)
+        0. block_sp_egrid
+    in
+    let sp_fast () =
+      let acc = ref 0. in
+      for k = 0 to block_sp_ne - 1 do
+        acc := !acc +. Rgf_block.spectra_into block_ws dev block_sp_egrid.(k)
+      done;
+      !acc
+    in
+    let sp_naive_ms = time_ms ~repeat:2 sp_naive in
+    let sp_fast_ms = time_ms sp_fast in
+    Printf.printf "   spectra:      naive %10.1f ms   fast      %8.1f ms   %.2fx\n%!"
+      sp_naive_ms sp_fast_ms (sp_naive_ms /. sp_fast_ms);
+    (* Warm one workspace, then measure a whole sweep's GC deltas. *)
+    let ws = Rgf_block.workspace () in
+    ignore (Rgf_block.transmission_into ws dev block_egrid.(0));
+    Gc.full_major ();
+    let s0 = Gc.quick_stat () in
+    for k = 0 to block_ne - 1 do
+      ignore (Sys.opaque_identity (Rgf_block.transmission_into ws dev block_egrid.(k)))
+    done;
+    let s1 = Gc.quick_stat () in
+    let per v0 v1 = (v1 -. v0) /. float_of_int block_ne in
+    let minor = per s0.Gc.minor_words s1.Gc.minor_words in
+    let major = per s0.Gc.major_words s1.Gc.major_words in
+    let promoted = per s0.Gc.promoted_words s1.Gc.promoted_words in
+    Printf.printf
+      "   steady state: %.1f minor / %.1f major / %.1f promoted words per \
+       energy   (max rel diff vs naive %.2e)\n%!"
+      minor major promoted max_rel_diff;
+    Some
+      {
+        br_naive_ms = naive_ms;
+        br_fast_seq_ms = fast_seq_ms;
+        br_fast_par_ms = fast_par_ms;
+        br_sp_naive_ms = sp_naive_ms;
+        br_sp_fast_ms = sp_fast_ms;
+        br_minor_per_e = minor;
+        br_major_per_e = major;
+        br_promoted_per_e = promoted;
+        br_max_rel_diff = max_rel_diff;
+      }
   end
 
 (* The CI smoke kernels (fig2a / fig5 / ablations) call Scf.solve directly
@@ -286,22 +488,49 @@ let exercise_table_cache () =
 (* Hand-rolled JSON (no json dependency in the image): flat schema, one
    object per kernel plus the observability snapshot, documented in
    docs/PERF.md and docs/OBS.md. *)
-let write_json path ~domains ~kernel_times ~pairs ~serve =
+let write_json path ~domains ~kernel_times ~pairs ~block_rgf ~serve =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"gnrfet-bench-v3\",\n";
-  add "  \"pr\": 5,\n";
+  add "  \"schema\": \"gnrfet-bench-v4\",\n";
+  add "  \"pr\": 7,\n";
   add "  \"domains\": %d,\n" domains;
   (let generates, coalesced, lru_hits, requests = serve in
    add
      "  \"serve\": {\"requests\": %d, \"generates\": %d, \"coalesced_hits\": \
       %d, \"lru_hits\": %d},\n"
      requests generates coalesced lru_hits);
+  (match block_rgf with
+  | None -> ()
+  | Some r ->
+    add "  \"block_rgf\": {\n";
+    add "    \"device\": {\"blocks\": %d, \"orbitals\": %d, \"energies\": %d},\n"
+      block_nb block_m block_ne;
+    add
+      "    \"transmission\": {\"naive_ms\": %.6g, \"fast_seq_ms\": %.6g, \
+       \"fast_par_ms\": %.6g, \"speedup_fast_vs_naive\": %.4g, \
+       \"speedup_par_vs_seq\": %.4g},\n"
+      r.br_naive_ms r.br_fast_seq_ms r.br_fast_par_ms
+      (r.br_naive_ms /. r.br_fast_seq_ms)
+      (r.br_fast_seq_ms /. r.br_fast_par_ms);
+    add
+      "    \"spectra\": {\"energies\": %d, \"naive_ms\": %.6g, \"fast_ms\": \
+       %.6g, \"speedup_fast_vs_naive\": %.4g},\n"
+      block_sp_ne r.br_sp_naive_ms r.br_sp_fast_ms
+      (r.br_sp_naive_ms /. r.br_sp_fast_ms);
+    add
+      "    \"steady_state_alloc_per_energy\": {\"minor_words\": %.3g, \
+       \"major_words\": %.3g, \"promoted_words\": %.3g},\n"
+      r.br_minor_per_e r.br_major_per_e r.br_promoted_per_e;
+    add "    \"max_rel_diff_vs_naive\": %.3g\n" r.br_max_rel_diff;
+    add "  },\n");
   add "  \"kernels\": [\n";
   List.iteri
-    (fun i (name, ms) ->
-      add "    {\"name\": %S, \"ms_per_run\": %.6g}%s\n" name ms
+    (fun i (name, ms, (minor, major, promoted)) ->
+      add
+        "    {\"name\": %S, \"ms_per_run\": %.6g, \"gc\": {\"minor_words\": \
+         %.6g, \"major_words\": %.6g, \"promoted_words\": %.6g}}%s\n"
+        name ms minor major promoted
         (if i = List.length kernel_times - 1 then "" else ","))
     kernel_times;
   add "  ],\n";
@@ -360,6 +589,7 @@ let () =
   List.iter (fun (_, k) -> ignore (k ())) kernels;
   let kernel_times = run_benchmarks () in
   let pairs = run_energy_loop_comparison () in
+  let block_rgf = run_block_rgf_comparison () in
   exercise_table_cache ();
   (* One clean serve sweep for the report's counter breakdown (the
      Bechamel kernel above times it; this run pins the counts). *)
@@ -375,8 +605,8 @@ let () =
   let json_path =
     match Sys.getenv_opt "GNRFET_BENCH_JSON" with
     | Some p when p <> "" -> p
-    | Some _ | None -> "BENCH_PR5.json"
+    | Some _ | None -> "BENCH_PR7.json"
   in
   write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs
-    ~serve;
+    ~block_rgf ~serve;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -6,20 +6,15 @@ val wideband : gamma:float -> Complex.t
     mid-gap Fermi-level pinning boundary condition (barrier = Eg/2). *)
 
 val dimer_surface :
-  ?eta:float ->
-  ?tol:float ->
-  ?max_iter:int ->
-  t1:float ->
-  t2:float ->
-  onsite:float ->
-  float ->
-  Complex.t
+  ?eta:float -> t1:float -> t2:float -> onsite:float -> float -> Complex.t
 (** [dimer_surface ~t1 ~t2 ~onsite e] is the retarded surface Green's
     function of a semi-infinite dimer chain (alternating hoppings [t1],
     [t2], uniform [onsite]) evaluated at energy [e], as seen by a device
     attached through a [t2] bond; multiply by [t2^2] for the self-energy.
-    Computed by damped fixed-point decimation with imaginary broadening
-    [eta] (default 1e-5 eV). *)
+    Computed in closed form: the decimation fixed point satisfies a
+    quadratic whose retarded root (negative imaginary part, bounded in
+    the gap) is selected with imaginary broadening [eta] (default
+    1e-5 eV) — no iteration, so no tolerance or iteration cap applies. *)
 
 val sancho_rubio :
   ?eta:float ->
@@ -31,5 +26,10 @@ val sancho_rubio :
   Cmatrix.t
 (** Surface Green's function of a semi-infinite periodic block chain
     ([h00] on-cell, [h01] coupling towards the device) via the
-    Sancho–Rubio decimation; the lead self-energy is
-    [h01† · g_s · h01]. Raises [Failure] if decimation stalls. *)
+    Sancho–Rubio decimation, running on the {!Zdense} in-place kernels
+    (allocation-free per iteration); the lead self-energy is
+    [h01† · g_s · h01].  Convergence when the decimated coupling's
+    largest entry drops below [tol]; raises {!Numerics_error.Stalled}
+    after [max_iter] iterations.  Reports [self_energy.sancho_calls] /
+    [self_energy.sancho_iterations] and a per-call timer into
+    {!Obs.global} (docs/OBS.md). *)

@@ -1,0 +1,241 @@
+(* Bigarray split re/im dense complex matrices.  Everything below is
+   written for the block-RGF inner loop: elementwise kernels run on
+   Array1.unsafe_get/unsafe_set over the two float64 planes with local
+   float refs (unboxed by the native compiler); the compute-bound
+   kernels (gemm / LU / solve) dispatch to the vectorisable C stubs in
+   zdense_stubs.c over the same storage.  A steady-state sweep does no
+   per-element boxing and no per-call allocation on either path. *)
+
+module A = Bigarray.Array1
+
+type plane = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+
+type t = { rows : int; cols : int; re : plane; im : plane }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Zdense.create: negative dims";
+  let mk () =
+    let p = A.create Bigarray.float64 Bigarray.c_layout (rows * cols) in
+    A.fill p 0.;
+    p
+  in
+  { rows; cols; re = mk (); im = mk () }
+
+let dims a = (a.rows, a.cols)
+
+let check_bounds name a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg (name ^ ": index out of bounds")
+
+let get a i j =
+  check_bounds "Zdense.get" a i j;
+  let k = (i * a.cols) + j in
+  { Complex.re = A.get a.re k; im = A.get a.im k }
+
+let set a i j z =
+  check_bounds "Zdense.set" a i j;
+  let k = (i * a.cols) + j in
+  A.set a.re k z.Complex.re;
+  A.set a.im k z.Complex.im
+
+let fill a z =
+  A.fill a.re z.Complex.re;
+  A.fill a.im z.Complex.im
+
+let require_square name a =
+  if a.rows <> a.cols then invalid_arg (name ^ ": matrix must be square")
+
+let require_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let set_identity a =
+  require_square "Zdense.set_identity" a;
+  A.fill a.re 0.;
+  A.fill a.im 0.;
+  for i = 0 to a.rows - 1 do
+    A.unsafe_set a.re ((i * a.cols) + i) 1.
+  done
+
+let copy_into src dst =
+  require_same "Zdense.copy_into" src dst;
+  A.blit src.re dst.re;
+  A.blit src.im dst.im
+
+let of_cmatrix_into (c : Cmatrix.t) dst =
+  if c.Cmatrix.rows <> dst.rows || c.Cmatrix.cols <> dst.cols then
+    invalid_arg "Zdense.of_cmatrix_into: dimension mismatch";
+  let cre = c.Cmatrix.re and cim = c.Cmatrix.im in
+  for k = 0 to (dst.rows * dst.cols) - 1 do
+    A.unsafe_set dst.re k (Array.unsafe_get cre k);
+    A.unsafe_set dst.im k (Array.unsafe_get cim k)
+  done
+
+let of_cmatrix c =
+  let d = create c.Cmatrix.rows c.Cmatrix.cols in
+  of_cmatrix_into c d;
+  d
+
+let to_cmatrix a =
+  Cmatrix.init a.rows a.cols (fun i j ->
+      let k = (i * a.cols) + j in
+      { Complex.re = A.unsafe_get a.re k; im = A.unsafe_get a.im k })
+
+let add_into a b dst =
+  require_same "Zdense.add_into" a b;
+  require_same "Zdense.add_into" a dst;
+  for k = 0 to (a.rows * a.cols) - 1 do
+    A.unsafe_set dst.re k (A.unsafe_get a.re k +. A.unsafe_get b.re k);
+    A.unsafe_set dst.im k (A.unsafe_get a.im k +. A.unsafe_get b.im k)
+  done
+
+let sub_into a b dst =
+  require_same "Zdense.sub_into" a b;
+  require_same "Zdense.sub_into" a dst;
+  for k = 0 to (a.rows * a.cols) - 1 do
+    A.unsafe_set dst.re k (A.unsafe_get a.re k -. A.unsafe_get b.re k);
+    A.unsafe_set dst.im k (A.unsafe_get a.im k -. A.unsafe_get b.im k)
+  done
+
+let scale_into z a dst =
+  require_same "Zdense.scale_into" a dst;
+  let zr = z.Complex.re and zi = z.Complex.im in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let xr = A.unsafe_get a.re k and xi = A.unsafe_get a.im k in
+    A.unsafe_set dst.re k ((zr *. xr) -. (zi *. xi));
+    A.unsafe_set dst.im k ((zr *. xi) +. (zi *. xr))
+  done
+
+let adjoint_into a dst =
+  if a.rows <> dst.cols || a.cols <> dst.rows then
+    invalid_arg "Zdense.adjoint_into: dimension mismatch";
+  if a == dst then invalid_arg "Zdense.adjoint_into: dst aliases the source";
+  for i = 0 to a.rows - 1 do
+    let ia = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      let kd = (j * dst.cols) + i in
+      A.unsafe_set dst.re kd (A.unsafe_get a.re (ia + j));
+      A.unsafe_set dst.im kd (-.A.unsafe_get a.im (ia + j))
+    done
+  done
+
+let shift_sub_into z a dst =
+  require_square "Zdense.shift_sub_into" a;
+  require_same "Zdense.shift_sub_into" a dst;
+  let n = a.cols in
+  for k = 0 to (n * n) - 1 do
+    A.unsafe_set dst.re k (-.A.unsafe_get a.re k);
+    A.unsafe_set dst.im k (-.A.unsafe_get a.im k)
+  done;
+  let zr = z.Complex.re and zi = z.Complex.im in
+  for i = 0 to n - 1 do
+    let k = (i * n) + i in
+    A.unsafe_set dst.re k (zr +. A.unsafe_get dst.re k);
+    A.unsafe_set dst.im k (zi +. A.unsafe_get dst.im k)
+  done
+
+type trans = N | C
+
+(* The hot kernels — gemm, LU factor, the multi-RHS triangular solve —
+   live in zdense_stubs.c as [@@noalloc] externals over the two raw
+   planes: the OCaml side keeps every dimension/aliasing check and the
+   typed error surface, the C side is inner loops the system compiler
+   vectorises (SAXPY i/k/j form, contiguous independent j-updates, no
+   -ffast-math — the accumulation order over the contraction index is
+   fixed, so results are deterministic and match the scalar definition).
+   Elementwise kernels above stay in OCaml: they are memory-bound and
+   the native compiler already compiles them allocation-free. *)
+
+external c_gemm :
+  int ->
+  int ->
+  plane ->
+  plane ->
+  plane ->
+  plane ->
+  plane ->
+  plane ->
+  int ->
+  int ->
+  int ->
+  unit = "gnr_zdense_gemm_byte" "gnr_zdense_gemm"
+  [@@noalloc]
+
+let gemm_into ?(ta = N) ?(tb = N) a b dst =
+  let am, ak = match ta with N -> (a.rows, a.cols) | C -> (a.cols, a.rows) in
+  let bk, bn = match tb with N -> (b.rows, b.cols) | C -> (b.cols, b.rows) in
+  if ak <> bk then invalid_arg "Zdense.gemm_into: inner dimension mismatch";
+  if dst.rows <> am || dst.cols <> bn then
+    invalid_arg "Zdense.gemm_into: destination dimension mismatch";
+  if dst == a || dst == b then
+    invalid_arg "Zdense.gemm_into: dst aliases an operand";
+  let code = function N -> 0 | C -> 1 in
+  c_gemm (code ta) (code tb) a.re a.im b.re b.im dst.re dst.im am bn ak
+
+external c_lu_factor : plane -> plane -> int -> int array -> float -> int
+  = "gnr_zdense_lu_factor"
+  [@@noalloc]
+
+let lu_factor a piv =
+  require_square "Zdense.lu_factor" a;
+  let n = a.rows in
+  if Array.length piv < n then invalid_arg "Zdense.lu_factor: pivot array too short";
+  let status = c_lu_factor a.re a.im n piv Tol.pivot_norm2 in
+  if status > 0 then
+    Numerics_error.singular ~solver:"Zdense.lu_factor"
+      ~detail:(Printf.sprintf "pivot %d of %d below floor" (status - 1) n)
+
+external c_solve : plane -> plane -> plane -> plane -> int array -> int -> int -> unit
+  = "gnr_zdense_solve_byte" "gnr_zdense_solve"
+  [@@noalloc]
+
+let solve_into lu piv b =
+  require_square "Zdense.solve_into" lu;
+  let n = lu.rows in
+  if b.rows <> n then invalid_arg "Zdense.solve_into: right-hand-side row mismatch";
+  if Array.length piv < n then invalid_arg "Zdense.solve_into: pivot array too short";
+  if b == lu then invalid_arg "Zdense.solve_into: rhs aliases the factor";
+  c_solve lu.re lu.im b.re b.im piv n b.cols
+
+let inverse_into lu piv dst =
+  if dst == lu then invalid_arg "Zdense.inverse_into: dst aliases the factor";
+  require_same "Zdense.inverse_into" lu dst;
+  set_identity dst;
+  solve_into lu piv dst
+
+let max_abs a =
+  let m = ref 0. in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let v =
+      Float.hypot (A.unsafe_get a.re k) (A.unsafe_get a.im k)
+    in
+    if v > !m then m := v
+  done;
+  !m
+
+let re_inner a b =
+  require_same "Zdense.re_inner" a b;
+  let s = ref 0. in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    s :=
+      !s
+      +. (A.unsafe_get a.re k *. A.unsafe_get b.re k)
+      +. (A.unsafe_get a.im k *. A.unsafe_get b.im k)
+  done;
+  !s
+
+let re_inner_rows a b dst =
+  require_same "Zdense.re_inner_rows" a b;
+  if Array.length dst < a.rows then
+    invalid_arg "Zdense.re_inner_rows: destination too short";
+  for i = 0 to a.rows - 1 do
+    let ia = i * a.cols in
+    let s = ref 0. in
+    for j = 0 to a.cols - 1 do
+      s :=
+        !s
+        +. (A.unsafe_get a.re (ia + j) *. A.unsafe_get b.re (ia + j))
+        +. (A.unsafe_get a.im (ia + j) *. A.unsafe_get b.im (ia + j))
+    done;
+    dst.(i) <- !s
+  done

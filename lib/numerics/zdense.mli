@@ -1,0 +1,97 @@
+(** Bigarray-backed dense complex matrices with allocation-free in-place
+    kernels — the storage layer of the block-RGF fast path.
+
+    Storage is split real/imaginary [(float, float64_elt, c_layout)
+    Bigarray.Array1.t], row-major ([k = i*cols + j] in each plane), so hot
+    loops never box a [Complex.t]: elementwise kernels compile to direct
+    unboxed float loads/stores, and the compute-bound kernels (gemm, LU,
+    solve) dispatch to vectorisable C stubs over the same raw planes.
+    Every kernel writes into a caller-provided
+    destination: once a workspace of matrices is allocated, a steady-state
+    sweep performs zero heap allocation per energy point (docs/PERF.md,
+    "block kernel layer").
+
+    Unless stated otherwise the destination of a multiplication or
+    factorisation kernel must not alias an input ([Invalid_argument]);
+    elementwise kernels ([add_into], [sub_into], [scale_into],
+    [copy_into], [shift_sub_into]) allow any aliasing because they are
+    pure per-element maps. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> Complex.t
+(** Bounds-checked element read (boxes the result; not for hot loops). *)
+
+val set : t -> int -> int -> Complex.t -> unit
+
+val fill : t -> Complex.t -> unit
+
+val set_identity : t -> unit
+(** Square matrices only. *)
+
+val copy_into : t -> t -> unit
+(** [copy_into src dst]; dimensions must match. *)
+
+val of_cmatrix : Cmatrix.t -> t
+
+val of_cmatrix_into : Cmatrix.t -> t -> unit
+(** Lossless (bit-for-bit) copy of the split storage. *)
+
+val to_cmatrix : t -> Cmatrix.t
+(** Lossless inverse of {!of_cmatrix}. *)
+
+val add_into : t -> t -> t -> unit
+(** [add_into a b dst]: [dst = a + b]. *)
+
+val sub_into : t -> t -> t -> unit
+(** [sub_into a b dst]: [dst = a - b]. *)
+
+val scale_into : Complex.t -> t -> t -> unit
+(** [scale_into z a dst]: [dst = z * a]. *)
+
+val adjoint_into : t -> t -> unit
+(** [adjoint_into a dst]: [dst = a†]; [dst] must not alias [a]. *)
+
+val shift_sub_into : Complex.t -> t -> t -> unit
+(** [shift_sub_into z a dst]: [dst = z*I - a] (square only) — the
+    [E + iη - H] resolvent assembly without an identity temporary. *)
+
+type trans =
+  | N  (** operand as stored *)
+  | C  (** conjugate transpose *)
+
+val gemm_into : ?ta:trans -> ?tb:trans -> t -> t -> t -> unit
+(** [gemm_into ~ta ~tb a b dst]: [dst = op(a) * op(b)] (both default
+    [N]).  Dispatches to the vectorised C kernels over the split planes
+    (SAXPY loop order, fixed accumulation order over the contraction
+    index — deterministic, no [-ffast-math]).  [dst] must not alias [a]
+    or [b]. *)
+
+val lu_factor : t -> int array -> unit
+(** In-place LU with partial pivoting ([piv] length >= rows records the
+    row swaps).  Raises {!Numerics_error.Singular} when the best pivot's
+    squared magnitude falls below [Tol.pivot_norm2].  Square only. *)
+
+val solve_into : t -> int array -> t -> unit
+(** [solve_into lu piv b] overwrites the [n x nrhs] right-hand side [b]
+    with [A^-1 b], where [(lu, piv)] came from {!lu_factor}. *)
+
+val inverse_into : t -> int array -> t -> unit
+(** [inverse_into lu piv dst]: [dst = A^-1] from a factored [(lu, piv)];
+    [dst] must not alias [lu]. *)
+
+val max_abs : t -> float
+(** Max entry magnitude (a cheap sup-norm for convergence tests). *)
+
+val re_inner : t -> t -> float
+(** [re_inner a b = Re tr(a b†) = sum_ij Re (a_ij * conj b_ij)] — the
+    trace of a product against an adjoint without forming either. *)
+
+val re_inner_rows : t -> t -> float array -> unit
+(** [re_inner_rows a b dst]: [dst.(i) = sum_k Re (a_ik * conj b_ik)],
+    i.e. the diagonal of [a b†] row by row ([dst] length >= rows). *)

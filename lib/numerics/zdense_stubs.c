@@ -1,0 +1,250 @@
+/* Hot complex dense kernels over the Zdense split-plane Bigarray layout.
+ *
+ * The OCaml side owns validation, workspace management and the API
+ * surface (zdense.ml); these stubs are the inner loops only, written so
+ * the system C compiler can vectorise them: gemm and the triangular
+ * solves run in SAXPY (i/k/j) form whose inner j-loops are contiguous,
+ * independent element-wise updates — vectorisable without any
+ * floating-point reassociation, so results are deterministic and the
+ * accumulation order over k matches the scalar definition.  Nothing
+ * here allocates on the OCaml heap, calls back into the runtime, or
+ * releases the runtime lock, so every external is [@@noalloc].
+ *
+ * Complex numbers are (re, im) pairs of double planes, row-major.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#define PLANE(v) ((double *) Caml_ba_data_val(v))
+
+/* C = A·B; A is m×k, B is k×n, C is m×n. */
+static void zgemm_nn(const double *restrict ar, const double *restrict ai,
+                     const double *restrict br, const double *restrict bi,
+                     double *restrict cr, double *restrict ci,
+                     long m, long n, long k)
+{
+  for (long i = 0; i < m; i++) {
+    double *restrict crow_r = cr + i * n;
+    double *restrict crow_i = ci + i * n;
+    for (long j = 0; j < n; j++) { crow_r[j] = 0.0; crow_i[j] = 0.0; }
+    const double *arow_r = ar + i * k;
+    const double *arow_i = ai + i * k;
+    for (long l = 0; l < k; l++) {
+      double xr = arow_r[l], xi = arow_i[l];
+      const double *restrict brow_r = br + l * n;
+      const double *restrict brow_i = bi + l * n;
+      for (long j = 0; j < n; j++) {
+        crow_r[j] += xr * brow_r[j] - xi * brow_i[j];
+        crow_i[j] += xr * brow_i[j] + xi * brow_r[j];
+      }
+    }
+  }
+}
+
+/* C = A†·B; A is k×m physical, B is k×n. */
+static void zgemm_cn(const double *restrict ar, const double *restrict ai,
+                     const double *restrict br, const double *restrict bi,
+                     double *restrict cr, double *restrict ci,
+                     long m, long n, long k)
+{
+  for (long i = 0; i < m; i++) {
+    double *restrict crow_r = cr + i * n;
+    double *restrict crow_i = ci + i * n;
+    for (long j = 0; j < n; j++) { crow_r[j] = 0.0; crow_i[j] = 0.0; }
+    for (long l = 0; l < k; l++) {
+      double xr = ar[l * m + i], xi = -ai[l * m + i];
+      const double *restrict brow_r = br + l * n;
+      const double *restrict brow_i = bi + l * n;
+      for (long j = 0; j < n; j++) {
+        crow_r[j] += xr * brow_r[j] - xi * brow_i[j];
+        crow_i[j] += xr * brow_i[j] + xi * brow_r[j];
+      }
+    }
+  }
+}
+
+/* C = A·B†; A is m×k, B is n×k physical — row-by-row dots. */
+static void zgemm_nc(const double *restrict ar, const double *restrict ai,
+                     const double *restrict br, const double *restrict bi,
+                     double *restrict cr, double *restrict ci,
+                     long m, long n, long k)
+{
+  for (long i = 0; i < m; i++) {
+    const double *arow_r = ar + i * k;
+    const double *arow_i = ai + i * k;
+    for (long j = 0; j < n; j++) {
+      const double *brow_r = br + j * k;
+      const double *brow_i = bi + j * k;
+      double sr = 0.0, si = 0.0;
+      for (long l = 0; l < k; l++) {
+        double xr = arow_r[l], xi = arow_i[l];
+        double yr = brow_r[l], yi = -brow_i[l];
+        sr += xr * yr - xi * yi;
+        si += xr * yi + xi * yr;
+      }
+      cr[i * n + j] = sr;
+      ci[i * n + j] = si;
+    }
+  }
+}
+
+/* C = A†·B†; A is k×m physical, B is n×k physical. */
+static void zgemm_cc(const double *restrict ar, const double *restrict ai,
+                     const double *restrict br, const double *restrict bi,
+                     double *restrict cr, double *restrict ci,
+                     long m, long n, long k)
+{
+  for (long i = 0; i < m; i++) {
+    for (long j = 0; j < n; j++) {
+      const double *brow_r = br + j * k;
+      const double *brow_i = bi + j * k;
+      double sr = 0.0, si = 0.0;
+      for (long l = 0; l < k; l++) {
+        double xr = ar[l * m + i], xi = -ai[l * m + i];
+        double yr = brow_r[l], yi = -brow_i[l];
+        sr += xr * yr - xi * yi;
+        si += xr * yi + xi * yr;
+      }
+      cr[i * n + j] = sr;
+      ci[i * n + j] = si;
+    }
+  }
+}
+
+CAMLprim value gnr_zdense_gemm(value vta, value vtb, value var, value vai,
+                               value vbr, value vbi, value vcr, value vci,
+                               value vm, value vn, value vk)
+{
+  const double *ar = PLANE(var), *ai = PLANE(vai);
+  const double *br = PLANE(vbr), *bi = PLANE(vbi);
+  double *cr = PLANE(vcr), *ci = PLANE(vci);
+  long m = Long_val(vm), n = Long_val(vn), k = Long_val(vk);
+  int ta = Int_val(vta), tb = Int_val(vtb);
+  if (ta == 0 && tb == 0)      zgemm_nn(ar, ai, br, bi, cr, ci, m, n, k);
+  else if (ta == 1 && tb == 0) zgemm_cn(ar, ai, br, bi, cr, ci, m, n, k);
+  else if (ta == 0 && tb == 1) zgemm_nc(ar, ai, br, bi, cr, ci, m, n, k);
+  else                         zgemm_cc(ar, ai, br, bi, cr, ci, m, n, k);
+  return Val_unit;
+}
+
+CAMLprim value gnr_zdense_gemm_byte(value *argv, int argn)
+{
+  (void) argn;
+  return gnr_zdense_gemm(argv[0], argv[1], argv[2], argv[3], argv[4],
+                         argv[5], argv[6], argv[7], argv[8], argv[9],
+                         argv[10]);
+}
+
+static void zswap_rows(double *p, long r1, long r2, long cols)
+{
+  if (r1 != r2) {
+    double *a = p + r1 * cols, *b = p + r2 * cols;
+    for (long j = 0; j < cols; j++) {
+      double t = a[j]; a[j] = b[j]; b[j] = t;
+    }
+  }
+}
+
+/* In-place partial-pivot LU.  Pivot rows are recorded as tagged ints in
+ * the OCaml int array [vpiv] (immediates: no write barrier needed).
+ * Returns 0 on success, or k+1 when the pivot at elimination step k
+ * falls below [tol] (squared magnitude) — the caller raises. */
+CAMLprim value gnr_zdense_lu_factor(value vre, value vim, value vn,
+                                    value vpiv, value vtol)
+{
+  double *restrict re = PLANE(vre);
+  double *restrict im = PLANE(vim);
+  long n = Long_val(vn);
+  double tol = Double_val(vtol);
+  for (long k = 0; k < n; k++) {
+    long p = k;
+    double best = re[k * n + k] * re[k * n + k] + im[k * n + k] * im[k * n + k];
+    for (long i = k + 1; i < n; i++) {
+      double v = re[i * n + k] * re[i * n + k] + im[i * n + k] * im[i * n + k];
+      if (v > best) { best = v; p = i; }
+    }
+    if (best < tol) return Val_long(k + 1);
+    Field(vpiv, k) = Val_long(p);
+    zswap_rows(re, k, p, n);
+    zswap_rows(im, k, p, n);
+    double dkr = re[k * n + k], dki = im[k * n + k];
+    double den = dkr * dkr + dki * dki;
+    double pr = dkr / den, pi = -dki / den;
+    const double *restrict ur = re + k * n;
+    const double *restrict ui = im + k * n;
+    for (long i = k + 1; i < n; i++) {
+      double *restrict rr = re + i * n;
+      double *restrict ri = im + i * n;
+      double mr0 = rr[k], mi0 = ri[k];
+      double mr = mr0 * pr - mi0 * pi, mi = mr0 * pi + mi0 * pr;
+      rr[k] = mr;
+      ri[k] = mi;
+      for (long j = k + 1; j < n; j++) {
+        rr[j] -= mr * ur[j] - mi * ui[j];
+        ri[j] -= mr * ui[j] + mi * ur[j];
+      }
+    }
+  }
+  return Val_long(0);
+}
+
+/* Solve LU·X = B in place on B (n×w), applying the recorded pivots,
+ * then unit-lower forward and upper backward substitution.  Every
+ * inner loop streams a contiguous row of the right-hand side. */
+CAMLprim value gnr_zdense_solve(value vre, value vim, value vxr, value vxi,
+                                value vpiv, value vn, value vw)
+{
+  const double *restrict re = PLANE(vre);
+  const double *restrict im = PLANE(vim);
+  double *restrict xr = PLANE(vxr);
+  double *restrict xi = PLANE(vxi);
+  long n = Long_val(vn), w = Long_val(vw);
+  for (long k = 0; k < n; k++) {
+    long p = Long_val(Field(vpiv, k));
+    zswap_rows(xr, k, p, w);
+    zswap_rows(xi, k, p, w);
+  }
+  for (long k = 0; k < n; k++) {
+    const double *restrict ur = xr + k * w;
+    const double *restrict ui = xi + k * w;
+    for (long i = k + 1; i < n; i++) {
+      double mr = re[i * n + k], mi = im[i * n + k];
+      double *restrict rr = xr + i * w;
+      double *restrict ri = xi + i * w;
+      for (long j = 0; j < w; j++) {
+        rr[j] -= mr * ur[j] - mi * ui[j];
+        ri[j] -= mr * ui[j] + mi * ur[j];
+      }
+    }
+  }
+  for (long k = n - 1; k >= 0; k--) {
+    double dkr = re[k * n + k], dki = im[k * n + k];
+    double den = dkr * dkr + dki * dki;
+    double pr = dkr / den, pi = -dki / den;
+    double *restrict ur = xr + k * w;
+    double *restrict ui = xi + k * w;
+    for (long j = 0; j < w; j++) {
+      double vr = ur[j], vi = ui[j];
+      ur[j] = vr * pr - vi * pi;
+      ui[j] = vr * pi + vi * pr;
+    }
+    for (long i = 0; i < k; i++) {
+      double mr = re[i * n + k], mi = im[i * n + k];
+      double *restrict rr = xr + i * w;
+      double *restrict ri = xi + i * w;
+      for (long j = 0; j < w; j++) {
+        rr[j] -= mr * ur[j] - mi * ui[j];
+        ri[j] -= mr * ui[j] + mi * ur[j];
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value gnr_zdense_solve_byte(value *argv, int argn)
+{
+  (void) argn;
+  return gnr_zdense_solve(argv[0], argv[1], argv[2], argv[3], argv[4],
+                          argv[5], argv[6]);
+}

@@ -1,0 +1,28 @@
+(* gnrlint fixture — hot-alloc rule cases.  Lives under a negf/ path
+   segment so the same predicate that gates lib/negf covers it.
+   Parsed, never compiled. *)
+
+(* Positive: allocating Cmatrix calls inside a for loop. *)
+let sweep blocks g =
+  for i = 0 to Array.length blocks - 1 do
+    let y = Cmatrix.mul g blocks.(i) in
+    ignore (Cmatrix.inverse y)
+  done
+
+(* Positive: while loop, adjoint/add/sub family. *)
+let iterate h =
+  let k = ref 0 in
+  while !k < 3 do
+    ignore (Cmatrix.add (Cmatrix.adjoint h) (Cmatrix.sub h h));
+    incr k
+  done
+
+(* Clean: same calls outside any loop (one-time setup is fine). *)
+let setup h = Cmatrix.mul h (Cmatrix.adjoint h)
+
+(* Clean: suppressed — the kept naive reference oracle idiom. *)
+let naive_reference blocks g =
+  for i = 0 to Array.length blocks - 1 do
+    (* gnrlint: allow hot-alloc — naive reference oracle *)
+    ignore (Cmatrix.mul g blocks.(i))
+  done

@@ -1,0 +1,164 @@
+(* Unit tests for the Zdense Bigarray kernel layer: every in-place
+   kernel is checked against the boxed Cmatrix reference on random
+   operands, the converters are checked lossless, and the typed error
+   surface (Singular, aliasing/dimension Invalid_argument) is pinned. *)
+
+open Support
+
+let rng = Rng.create 7231
+
+let random_cmatrix rows cols =
+  Cmatrix.init rows cols (fun _ _ ->
+      { Complex.re = Rng.uniform rng (-1.) 1.; im = Rng.uniform rng (-1.) 1. })
+
+(* Max elementwise difference, scaled by the reference's max magnitude. *)
+let rel_diff (reference : Cmatrix.t) (z : Zdense.t) =
+  let scale = Float.max (Cmatrix.max_abs reference) 1e-30 in
+  Cmatrix.frobenius_diff reference (Zdense.to_cmatrix z) /. scale
+
+let check_close msg reference z =
+  let d = rel_diff reference z in
+  if d > 1e-12 then Alcotest.failf "%s: relative difference %g > 1e-12" msg d
+
+let test_roundtrip_lossless () =
+  let c = random_cmatrix 7 5 in
+  let c' = Zdense.to_cmatrix (Zdense.of_cmatrix c) in
+  for i = 0 to 6 do
+    for j = 0 to 4 do
+      let a = Cmatrix.get c i j and b = Cmatrix.get c' i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "entry (%d,%d) bit-for-bit" i j)
+        true
+        (a.Complex.re = b.Complex.re && a.Complex.im = b.Complex.im)
+    done
+  done
+
+let test_elementwise_kernels () =
+  let a = random_cmatrix 6 4 and b = random_cmatrix 6 4 in
+  let za = Zdense.of_cmatrix a and zb = Zdense.of_cmatrix b in
+  let dst = Zdense.create 6 4 in
+  Zdense.add_into za zb dst;
+  check_close "add_into" (Cmatrix.add a b) dst;
+  Zdense.sub_into za zb dst;
+  check_close "sub_into" (Cmatrix.sub a b) dst;
+  let z = { Complex.re = 0.3; im = -1.1 } in
+  Zdense.scale_into z za dst;
+  check_close "scale_into" (Cmatrix.scale z a) dst;
+  let adj = Zdense.create 4 6 in
+  Zdense.adjoint_into za adj;
+  check_close "adjoint_into" (Cmatrix.adjoint a) adj;
+  (* shift_sub_into: dst = z*I - a, square only. *)
+  let sq = random_cmatrix 5 5 in
+  let zsq = Zdense.of_cmatrix sq and sdst = Zdense.create 5 5 in
+  Zdense.shift_sub_into z zsq sdst;
+  let reference =
+    Cmatrix.sub (Cmatrix.scale z (Cmatrix.identity 5)) sq
+  in
+  check_close "shift_sub_into" reference sdst
+
+let cmatrix_op trans m = match trans with Zdense.N -> m | Zdense.C -> Cmatrix.adjoint m
+
+let test_gemm_all_flags () =
+  (* dst = op(a) * op(b) for every flag pair, on non-square operands so
+     a transposed-dimension slip cannot cancel out. *)
+  let m = 5 and n = 4 and k = 6 in
+  List.iter
+    (fun (ta, tb, name) ->
+      let a =
+        match ta with Zdense.N -> random_cmatrix m k | Zdense.C -> random_cmatrix k m
+      in
+      let b =
+        match tb with Zdense.N -> random_cmatrix k n | Zdense.C -> random_cmatrix n k
+      in
+      let dst = Zdense.create m n in
+      Zdense.gemm_into ~ta ~tb (Zdense.of_cmatrix a) (Zdense.of_cmatrix b) dst;
+      check_close name (Cmatrix.mul (cmatrix_op ta a) (cmatrix_op tb b)) dst)
+    [
+      (Zdense.N, Zdense.N, "gemm N,N");
+      (Zdense.C, Zdense.N, "gemm C,N");
+      (Zdense.N, Zdense.C, "gemm N,C");
+      (Zdense.C, Zdense.C, "gemm C,C");
+    ]
+
+let well_conditioned n =
+  (* Random complex matrix pushed to diagonal dominance. *)
+  Cmatrix.init n n (fun i j ->
+      let z = { Complex.re = Rng.uniform rng (-1.) 1.; im = Rng.uniform rng (-1.) 1. } in
+      if i = j then { Complex.re = z.Complex.re +. 5.; im = z.Complex.im +. 1. } else z)
+
+let test_solve_and_inverse () =
+  let n = 9 in
+  let a = well_conditioned n in
+  let lu = Zdense.of_cmatrix a in
+  let piv = Array.make n 0 in
+  Zdense.lu_factor lu piv;
+  (* inverse_into against the Cmatrix Gauss–Jordan reference. *)
+  let inv = Zdense.create n n in
+  Zdense.inverse_into lu piv inv;
+  let reference = Cmatrix.inverse a in
+  let d = rel_diff reference inv in
+  if d > 1e-10 then Alcotest.failf "inverse_into: relative difference %g > 1e-10" d;
+  (* Multi-RHS solve: A * (A^-1 B) must reproduce B. *)
+  let b = random_cmatrix n 3 in
+  let x = Zdense.of_cmatrix b in
+  Zdense.solve_into lu piv x;
+  let residual = Zdense.create n 3 in
+  Zdense.gemm_into (Zdense.of_cmatrix a) x residual;
+  check_close "solve_into residual" b residual
+
+let test_singular_raises () =
+  let n = 4 in
+  (* Rank-deficient: two identical rows. *)
+  let a =
+    Cmatrix.init n n (fun i j ->
+        let i = if i = n - 1 then 0 else i in
+        { Complex.re = float_of_int ((i * n) + j); im = float_of_int (i - j) })
+  in
+  let lu = Zdense.of_cmatrix a in
+  let piv = Array.make n 0 in
+  match Zdense.lu_factor lu piv with
+  | exception Numerics_error.Singular { solver; _ } ->
+    Alcotest.(check string) "typed solver tag" "Zdense.lu_factor" solver
+  | () -> Alcotest.fail "lu_factor accepted a rank-deficient matrix"
+
+let test_inner_products () =
+  let a = random_cmatrix 5 7 and b = random_cmatrix 5 7 in
+  let za = Zdense.of_cmatrix a and zb = Zdense.of_cmatrix b in
+  (* re_inner = Re tr(a b†), computed via the boxed API. *)
+  let reference = (Cmatrix.trace (Cmatrix.mul a (Cmatrix.adjoint b))).Complex.re in
+  approx_rel ~rel:1e-12 "re_inner" reference (Zdense.re_inner za zb);
+  let rows = Array.make 5 0. in
+  Zdense.re_inner_rows za zb rows;
+  let diag = Cmatrix.diag (Cmatrix.mul a (Cmatrix.adjoint b)) in
+  Array.iteri
+    (fun i d -> approx_rel ~rel:1e-12 (Printf.sprintf "re_inner_rows %d" i) d.Complex.re rows.(i))
+    diag;
+  approx_rel ~rel:1e-12 "max_abs" (Cmatrix.max_abs a) (Zdense.max_abs za)
+
+let test_guards () =
+  let a = Zdense.create 3 3 and b = Zdense.create 3 3 in
+  let piv = Array.make 3 0 in
+  check_raises_invalid "gemm dst aliases operand" (fun () ->
+      Zdense.gemm_into a b a);
+  check_raises_invalid "gemm inner mismatch" (fun () ->
+      Zdense.gemm_into a (Zdense.create 4 3) (Zdense.create 3 3));
+  check_raises_invalid "adjoint aliasing" (fun () -> Zdense.adjoint_into a a);
+  check_raises_invalid "lu_factor non-square" (fun () ->
+      Zdense.lu_factor (Zdense.create 3 4) piv);
+  check_raises_invalid "solve rhs aliases factor" (fun () ->
+      Zdense.solve_into a piv a);
+  check_raises_invalid "pivot array too short" (fun () ->
+      Zdense.lu_factor a (Array.make 1 0));
+  check_raises_invalid "inverse dst aliases factor" (fun () ->
+      Zdense.inverse_into a piv a)
+
+let suite =
+  [
+    Alcotest.test_case "cmatrix round-trip lossless" `Quick test_roundtrip_lossless;
+    Alcotest.test_case "elementwise kernels vs Cmatrix" `Quick test_elementwise_kernels;
+    Alcotest.test_case "gemm all transpose flags" `Quick test_gemm_all_flags;
+    Alcotest.test_case "LU solve and inverse" `Quick test_solve_and_inverse;
+    Alcotest.test_case "singular factor raises typed error" `Quick test_singular_raises;
+    Alcotest.test_case "inner products and norms" `Quick test_inner_products;
+    Alcotest.test_case "aliasing and dimension guards" `Quick test_guards;
+  ]

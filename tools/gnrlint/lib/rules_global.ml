@@ -16,7 +16,7 @@
    design (docs/LINT.md). *)
 
 let det_root_names = [ "Scf.solve"; "Iv_table.generate" ]
-let det_root_prefixes = [ "Observables."; "Rgf." ]
+let det_root_prefixes = [ "Observables."; "Rgf."; "Rgf_block." ]
 let nondet_exempt_modules = [ "Obs" ]
 
 let find_file files path = List.find_opt (fun (f : Src.file) -> f.Src.path = path) files
