@@ -1,0 +1,29 @@
+type bytes_view =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external crc32_str : string -> int -> int -> int = "gnrfet_crc32_str"
+[@@noalloc]
+
+external crc32_ba : bytes_view -> int -> int -> int = "gnrfet_crc32_ba"
+[@@noalloc]
+
+external crc32_sw : string -> int -> int -> int = "gnrfet_crc32_sw"
+[@@noalloc]
+
+let check ~what ~total ~pos ~len =
+  if pos < 0 || len < 0 || pos > total - len then
+    invalid_arg
+      (Printf.sprintf "Crc32.%s: range [%d, %d+%d) outside 0..%d" what pos pos
+         len total)
+
+let string s ~pos ~len =
+  check ~what:"string" ~total:(String.length s) ~pos ~len;
+  crc32_str s pos len
+
+let bigarray ba ~pos ~len =
+  check ~what:"bigarray" ~total:(Bigarray.Array1.dim ba) ~pos ~len;
+  crc32_ba ba pos len
+
+let string_sw s ~pos ~len =
+  check ~what:"string_sw" ~total:(String.length s) ~pos ~len;
+  crc32_sw s pos len

@@ -10,11 +10,12 @@ let memory_mutex = Mutex.create ()
 let clear_memory () =
   Mutex.protect memory_mutex (fun () -> Hashtbl.reset memory)
 
-(* The "v2|" prefix versions the on-disk format: Marshal is not
-   type-safe, so any change to the Iv_table.t layout (PR 4 added
-   [failed_points]) must make old files key-mismatch — the stored key is
-   a plain string, safe to read and compare regardless of what the table
-   half of the pair contains — and regenerate rather than be reinterpreted. *)
+(* The "v2|" prefix versions the *logical* key contents (PR 4 added
+   [failed_points]); the on-disk byte layout is versioned separately by
+   the gnrtbl header (Tbl_format.version), so a gnrtbl layout bump
+   retires files via Bad_version instead of a key change.  Legacy
+   Marshal files were stored under the same v2 keys, which is what lets
+   the fallback reader below still accept them. *)
 let full_key ?grid p =
   let g = match grid with Some g -> g | None -> Iv_table.default_grid in
   "v2|" ^ Params.cache_key p ^ "|"
@@ -25,33 +26,59 @@ let key ?grid ?ctx p =
   let c = Ctx.resolve ?ctx ?grid () in
   full_key ?grid:c.Ctx.grid p
 
-let path_of_key key =
+(* New tables are written as [<digest>.gnrtbl] (Tbl_format,
+   docs/FORMAT.md); [<digest>.table] is the pre-PR 8 Marshal layout,
+   still readable for one release so a deployed cache is not orphaned
+   by the upgrade. *)
+let gnrtbl_path key =
+  Filename.concat (cache_dir ()) (Digest.to_hex (Digest.string key) ^ ".gnrtbl")
+
+let legacy_path key =
   Filename.concat (cache_dir ()) (Digest.to_hex (Digest.string key) ^ ".table")
 
 (* Fault-injection site (docs/ROBUST.md): an armed campaign fails the
-   deserialization as a corrupt read, exercising the quarantine path. *)
+   read — gnrtbl and legacy alike — as a corrupt file, exercising the
+   quarantine path. *)
 let fault_read = Fault.site "table_cache.read"
 
-(* A file that cannot be parsed is renamed to [<name>.corrupt] so it
-   cannot poison every future run (and stays inspectable); if even the
-   rename fails the load degrades to a plain miss. *)
+type disk_outcome =
+  | Table of Iv_table.t
+  | Legacy of Iv_table.t
+  | Absent
+  | Stale
+  | Corrupt of Robust_error.corrupt_reason
+
+(* A file that fails validation is renamed to [<name>.corrupt] so it
+   cannot poison every future run (and stays inspectable).  The rename
+   itself runs inside a degraded read path, so its failure (read-only
+   cache directory) must never raise: it is counted in
+   [table_cache.quarantine_failed] and the lookup still degrades to a
+   miss. *)
 let quarantine ?obs path reason =
   Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.corrupt_quarantined");
+  Obs.Counter.incr
+    (Obs.Counter.make ?obs
+       ("table_cache.corrupt." ^ Robust_error.corrupt_label reason));
   if Sys.getenv_opt "GNRFET_TABLE_DEBUG" <> None then
-    Printf.eprintf "table_cache: quarantining %s (%s)\n%!" path reason;
+    Printf.eprintf "table_cache: quarantining %s (%s)\n%!" path
+      (Robust_error.corrupt_reason_to_string reason);
   match Sys.rename path (path ^ ".corrupt") with
   | () -> ()
-  | exception Sys_error _ -> ()
+  | exception Sys_error _ ->
+    Obs.Counter.incr (Obs.Counter.make ?obs "table_cache.quarantine_failed")
 
-(* File format: marshaled (key, table) pair; the key is re-checked on load
-   so hash collisions or format drift degrade to regeneration.  Any
-   parse/read failure — truncation, garbage bytes, Marshal version skew,
-   I/O errors mid-read — quarantines the file and reads as a miss; the
-   channel is closed on every path. *)
-let load_file ?obs key =
-  let path = path_of_key key in
+let injected_reason site hit =
+  Robust_error.Undecodable
+    { detail = Printf.sprintf "injected fault (%s hit %d)" site hit }
+
+(* Legacy-Marshal fallback reader: marshaled (key, table) pair.  Marshal
+   cannot be validated without being parsed, so the only corruption
+   attribution possible here is [Undecodable]; the channel is closed on
+   every path. *)
+let load_legacy ?obs key =
+  let path = legacy_path key in
   match open_in_bin path with
-  | exception Sys_error _ -> None (* absent (the common case) or unreadable *)
+  | exception Sys_error _ -> Absent (* absent (the common case) or unreadable *)
   | ic -> (
     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
     match
@@ -59,15 +86,48 @@ let load_file ?obs key =
       (Marshal.from_channel ic : string * Iv_table.t)
     with
     | stored_key, table ->
-      if String.equal stored_key key then Some table
-      else None (* digest collision or key-format drift: stale, not corrupt *)
+      if String.equal stored_key key then Legacy table
+      else Stale (* digest collision or key-format drift: not corrupt *)
     | exception ((Failure _ | End_of_file | Sys_error _ | Invalid_argument _) as e)
       ->
-      quarantine ?obs path (Printexc.to_string e);
-      None
+      let reason = Robust_error.Undecodable { detail = Printexc.to_string e } in
+      quarantine ?obs path reason;
+      Corrupt reason
     | exception Fault.Injected { site; hit } ->
-      quarantine ?obs path (Printf.sprintf "injected fault (%s hit %d)" site hit);
-      None)
+      let reason = injected_reason site hit in
+      quarantine ?obs path reason;
+      Corrupt reason)
+
+(* gnrtbl read path: map, checksum-validate, convert.  Tbl_format does
+   the mapping and raises checksum-precise [Cache_corrupt] reasons;
+   everything else this function can observe is absence (fall through
+   to the legacy reader) or an unreadable file (degrades to a miss, as
+   the legacy open failure always has). *)
+let probe_key ?obs key =
+  let path = gnrtbl_path key in
+  if not (Sys.file_exists path) then load_legacy ?obs key
+  else
+    match
+      Fault.fail fault_read;
+      Tbl_format.read ~path
+    with
+    | view ->
+      if String.equal view.Tbl_format.v_cache_key key then
+        Table (Tbl_format.to_table view)
+      else Stale
+    | exception Robust_error.Error (Robust_error.Cache_corrupt { reason; _ }) ->
+      quarantine ?obs path reason;
+      Corrupt reason
+    | exception Fault.Injected { site; hit } ->
+      let reason = injected_reason site hit in
+      quarantine ?obs path reason;
+      Corrupt reason
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+      Absent (* raced deletion or unreadable: a plain miss, not corrupt *)
+
+let probe_disk ?grid ?obs ?ctx p =
+  let c = Ctx.resolve ?ctx ?obs ?grid () in
+  probe_key ~obs:c.Ctx.obs (full_key ?grid:c.Ctx.grid p)
 
 (* Writes are atomic (tmp + rename) and best-effort — a cache store
    failure must never kill the computation that produced the table — but
@@ -85,7 +145,7 @@ let store_file ?obs key table =
          surfaces as a store failure at open below. *)
       ()
   end;
-  let path = path_of_key key in
+  let path = gnrtbl_path key in
   let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
   let cleanup () =
     match Sys.remove tmp with () -> () | exception Sys_error _ -> ()
@@ -94,7 +154,7 @@ let store_file ?obs key table =
   | exception Sys_error _ -> store_failed ()
   | oc -> (
     match
-      Marshal.to_channel oc (key, table) [];
+      output_string oc (Tbl_format.encode ~cache_key:key table);
       close_out oc
     with
     | () -> (
@@ -103,15 +163,15 @@ let store_file ?obs key table =
       | exception Sys_error _ ->
         store_failed ();
         cleanup ())
-    | exception (Sys_error _ | Failure _) ->
+    | exception (Sys_error _ | Failure _ | Invalid_argument _) ->
       close_out_noerr oc;
       store_failed ();
       cleanup ())
 
 (* Hit/miss accounting (docs/OBS.md): every [lookup] resolves to exactly
-   one of memory hit, disk hit or miss; [generates] counts cache-initiated
-   table generations.  A fresh [get] therefore reads as one miss, one
-   generate and (for later requests) memory hits only. *)
+   one of memory hit, disk hit or miss; a disk hit served by the mapped
+   gnrtbl path additionally counts [table_cache.mmap_hits], and
+   [generates] counts cache-initiated table generations. *)
 let lookup ?grid ?obs ?ctx p =
   let c = Ctx.resolve ?ctx ?obs ?grid () in
   let obs = c.Ctx.obs in
@@ -121,12 +181,16 @@ let lookup ?grid ?obs ?ctx p =
     Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.memory_hits");
     Some t
   | None -> begin
-    match load_file ~obs key with
-    | Some t ->
+    match probe_key ~obs key with
+    | (Table t | Legacy t) as outcome ->
       Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.disk_hits");
+      (match outcome with
+      | Table _ ->
+        Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.mmap_hits")
+      | _ -> ());
       Mutex.protect memory_mutex (fun () -> Hashtbl.replace memory key t);
       Some t
-    | None ->
+    | Absent | Stale | Corrupt _ ->
       Obs.Counter.incr (Obs.Counter.make ~obs "table_cache.misses");
       None
   end

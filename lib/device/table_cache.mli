@@ -1,43 +1,80 @@
 (** On-disk cache of generated device tables.
 
     Table generation costs tens of seconds per device variant; the
-    variation studies need ~20 variants.  Tables are stored under the
-    directory named by [GNRFET_TABLE_DIR] (default [_tables/] in the
-    current working tree), content-addressed by the device cache key. *)
+    variation studies need ~20 variants and the serving tier re-reads
+    tables orders of magnitude more often than it generates them.
+    Tables are stored under the directory named by [GNRFET_TABLE_DIR]
+    (default [_tables/] in the current working tree), content-addressed
+    by the device cache key, in the [gnrtbl] binary columnar format
+    ({!Tbl_format}, docs/FORMAT.md): a disk hit {e maps} the file and
+    validates it with a per-section CRC-32C pass instead of
+    deserializing it.  Pre-PR 8 Marshal files ([<digest>.table]) are
+    still read through a legacy fallback for one release; new stores
+    always write [<digest>.gnrtbl]. *)
 
 val cache_dir : unit -> string
 
 val key : ?grid:Iv_table.grid_spec -> ?ctx:Ctx.t -> Params.t -> string
 (** The full content key a [(p, grid)] request is cached under (device
-    cache key + format version + grid signature).  The serve layer's LRU
-    and single-flight maps key on this, so their identity is exactly the
-    cache's. *)
+    cache key + key-format version + grid signature).  The serve
+    layer's LRU and single-flight maps key on this, so their identity
+    is exactly the cache's. *)
+
+val gnrtbl_path : string -> string
+(** On-disk path of the [gnrtbl] file for a full {!key} (exists or
+    not); bench and test harnesses use it to read and corrupt files
+    directly. *)
+
+val legacy_path : string -> string
+(** On-disk path of the pre-PR 8 Marshal file for a full {!key}. *)
+
+type disk_outcome =
+  | Table of Iv_table.t  (** [gnrtbl] hit: mapped, validated, converted *)
+  | Legacy of Iv_table.t  (** pre-PR 8 Marshal fallback hit *)
+  | Absent  (** no file (or unreadable): a plain miss *)
+  | Stale  (** file present but stored under a different key *)
+  | Corrupt of Robust_error.corrupt_reason
+      (** validation failed; the file has been quarantined and the
+          reason counted — see {!lookup} *)
+
+val probe_disk :
+  ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t ->
+  disk_outcome
+(** The disk half of {!lookup}, with the outcome made explicit:
+    corruption surfaces as the typed checksum-precise reason the
+    [gnrtbl] validator raised instead of being collapsed into [None].
+    Performs the same quarantine + counting side effects as {!lookup};
+    never raises on malformed input (the corruption-matrix fuzz
+    harness drives ≥200 mutations through here and {!lookup}).  Does
+    not touch the in-memory cache or the hit/miss counters. *)
 
 val lookup :
   ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t ->
   Iv_table.t option
-(** Load from memory or disk; [None] when absent or unreadable.  Every
-    call bumps exactly one of [table_cache.memory_hits],
+(** Load from memory or disk; [None] when absent, stale or corrupt.
+    Every call bumps exactly one of [table_cache.memory_hits],
     [table_cache.disk_hits] or [table_cache.misses] in [?obs] (default
-    {!Obs.global}); see docs/OBS.md.
+    {!Obs.global}); a disk hit served by the mapped [gnrtbl] path also
+    bumps [table_cache.mmap_hits].  See docs/OBS.md.
 
-    {b Corruption hardening} (docs/ROBUST.md): a disk file that fails to
-    deserialize — truncation, garbage bytes, Marshal version skew, I/O
-    errors mid-read — is renamed to [<name>.corrupt] (counted in
-    [table_cache.corrupt_quarantined]) and the lookup degrades to a
-    miss; the channel is closed on every path.  A file whose stored key
-    does not match reads as a plain miss without quarantine.  The cache
-    key embeds a format version ([v2|...]), so layout changes to
-    {!Iv_table.t} retire old files by key mismatch instead of
-    misinterpreting their bytes. *)
+    {b Corruption hardening} (docs/ROBUST.md): a [gnrtbl] file that
+    fails validation is quarantined — renamed to [<name>.corrupt],
+    counted in [table_cache.corrupt_quarantined] {e and} in the
+    per-reason counter [table_cache.corrupt.<label>]
+    ([bad_magic]/[bad_version]/[crc_mismatch]/[truncated]/[undecodable],
+    {!Robust_error.corrupt_label}) — and the lookup degrades to a miss.
+    A failed quarantine rename (read-only cache directory) counts
+    [table_cache.quarantine_failed] and still degrades to a miss,
+    never raises.  A file whose stored key does not match reads as a
+    plain miss without quarantine. *)
 
 val get :
   ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t -> Iv_table.t
 (** Load or generate (and persist). Thread through all experiment code.
     A generation bumps [table_cache.generates] on top of the {!lookup}
-    miss.  Persisting is atomic (tmp file + rename) and best-effort: a
-    failed write never fails the caller but counts in
-    [table_cache.store_failures]. *)
+    miss.  Persisting writes [gnrtbl] atomically (tmp file + rename)
+    and is best-effort: a failed write never fails the caller but
+    counts in [table_cache.store_failures]. *)
 
 val get_many :
   ?grid:Iv_table.grid_spec -> ?obs:Obs.t -> ?ctx:Ctx.t -> Params.t list ->

@@ -1,0 +1,345 @@
+(* gnrtbl v1 byte layout (docs/FORMAT.md is the normative spec; the
+   Layout submodule below is the one computed source of offsets).
+
+   All integers little-endian.  pad8(n) rounds n up to a multiple of 8.
+
+     0   6  magic "GNRTBL"
+     6   2  u16 format version = 1
+     8   4  u32 cache-key length (ckl)
+     12  4  u32 table-key length (tkl)
+     16  4  u32 n_vg
+     20  4  u32 n_vd
+     24  4  u32 n_failed
+     28  4  u32 n_cols = 4
+     32  8  u64 total file length
+     40  32 u64 column data offsets: vg, vd, current, charge
+     72  8  u64 failed-points data offset
+     80  pad8(ckl)  cache key, zero-padded
+     ..  pad8(tkl)  table key, zero-padded
+     hdr_end = 80 + pad8(ckl) + pad8(tkl)
+     hdr_end  8  header CRC field
+
+   then four column sections and the failed-points section, each
+   "data ++ CRC field" at the offsets the header names.  A CRC field
+   is a u32 CRC-32C of the section's data bytes followed by a u32 that
+   must be zero, so every section (and the file total) stays 8-byte
+   aligned — which is what lets the reader hand out float64 Bigarray
+   views straight into the mapping — and every byte of the file is
+   covered by exactly one checksum. *)
+
+type farray = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type view = {
+  v_version : int;
+  v_cache_key : string;
+  v_table_key : string;
+  v_n_vg : int;
+  v_n_vd : int;
+  v_vg : farray;
+  v_vd : farray;
+  v_current : farray;
+  v_charge : farray;
+  v_failed_points : (int * int) list;
+}
+
+let version = 1
+
+let magic = "GNRTBL"
+
+let pad8 n = (n + 7) land lnot 7
+
+module Layout = struct
+  type t = {
+    ckl : int;
+    tkl : int;
+    n_vg : int;
+    n_vd : int;
+    n_failed : int;
+    hdr_end : int;
+    col_off : int array;
+    col_len : int array;
+    failed_off : int;
+    failed_len : int;
+    total : int;
+  }
+
+  let fixed_header_size = 80
+
+  let min_file_size = fixed_header_size + 8
+
+  let of_lengths ~ckl ~tkl ~n_vg ~n_vd ~n_failed =
+    let hdr_end = fixed_header_size + pad8 ckl + pad8 tkl in
+    let plane = n_vg * n_vd * 8 in
+    let col_len = [| n_vg * 8; n_vd * 8; plane; plane |] in
+    let col_off = Array.make 4 0 in
+    let off = ref (hdr_end + 8) in
+    Array.iteri
+      (fun i len ->
+        col_off.(i) <- !off;
+        off := !off + len + 8)
+      col_len;
+    let failed_off = !off in
+    let failed_len = 8 * n_failed in
+    {
+      ckl;
+      tkl;
+      n_vg;
+      n_vd;
+      n_failed;
+      hdr_end;
+      col_off;
+      col_len;
+      failed_off;
+      failed_len;
+      total = failed_off + failed_len + 8;
+    }
+
+  let make ~cache_key ~table_key ~n_vg ~n_vd ~n_failed =
+    of_lengths ~ckl:(String.length cache_key) ~tkl:(String.length table_key)
+      ~n_vg ~n_vd ~n_failed
+end
+
+let col_names = [| "vg"; "vd"; "current"; "charge" |]
+
+let corrupt ~path reason =
+  Robust_error.raise_ (Robust_error.Cache_corrupt { path; reason })
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let set_u32 b pos v = Bytes.set_int32_le b pos (Int32.of_int v)
+
+let set_u64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+
+(* Compute a section's CRC over the just-written data bytes and store
+   it in the 8-byte CRC field that follows (high u32 stays zero from
+   Bytes.make). *)
+let seal b ~pos ~len =
+  set_u32 b (pos + len) (Crc32.string (Bytes.unsafe_to_string b) ~pos ~len)
+
+let encode ~cache_key (t : Iv_table.t) =
+  let n_vg = Array.length t.Iv_table.vg and n_vd = Array.length t.Iv_table.vd in
+  let ragged plane =
+    Array.length plane <> n_vg
+    || Array.exists (fun row -> Array.length row <> n_vd) plane
+  in
+  if ragged t.Iv_table.current || ragged t.Iv_table.charge then
+    invalid_arg "Tbl_format.encode: current/charge not an n_vg x n_vd matrix";
+  let n_failed = List.length t.Iv_table.failed_points in
+  let lay =
+    Layout.make ~cache_key ~table_key:t.Iv_table.key ~n_vg ~n_vd ~n_failed
+  in
+  let b = Bytes.make lay.Layout.total '\000' in
+  Bytes.blit_string magic 0 b 0 6;
+  Bytes.set_uint16_le b 6 version;
+  set_u32 b 8 lay.Layout.ckl;
+  set_u32 b 12 lay.Layout.tkl;
+  set_u32 b 16 n_vg;
+  set_u32 b 20 n_vd;
+  set_u32 b 24 n_failed;
+  set_u32 b 28 4;
+  set_u64 b 32 lay.Layout.total;
+  Array.iteri (fun i off -> set_u64 b (40 + (8 * i)) off) lay.Layout.col_off;
+  set_u64 b 72 lay.Layout.failed_off;
+  Bytes.blit_string cache_key 0 b 80 lay.Layout.ckl;
+  Bytes.blit_string t.Iv_table.key 0 b (80 + pad8 lay.Layout.ckl) lay.Layout.tkl;
+  seal b ~pos:0 ~len:lay.Layout.hdr_end;
+  let put_f64 pos v = Bytes.set_int64_le b pos (Int64.bits_of_float v) in
+  let write_plane i fill =
+    let pos = lay.Layout.col_off.(i) in
+    fill pos;
+    seal b ~pos ~len:lay.Layout.col_len.(i)
+  in
+  write_plane 0 (fun pos ->
+      Array.iteri (fun k v -> put_f64 (pos + (8 * k)) v) t.Iv_table.vg);
+  write_plane 1 (fun pos ->
+      Array.iteri (fun k v -> put_f64 (pos + (8 * k)) v) t.Iv_table.vd);
+  let write_matrix i m =
+    write_plane i (fun pos ->
+        Array.iteri
+          (fun ig row ->
+            Array.iteri
+              (fun jd v -> put_f64 (pos + (8 * ((ig * n_vd) + jd))) v)
+              row)
+          m)
+  in
+  write_matrix 2 t.Iv_table.current;
+  write_matrix 3 t.Iv_table.charge;
+  List.iteri
+    (fun k (ivg, ivd) ->
+      let pos = lay.Layout.failed_off + (8 * k) in
+      set_u32 b pos ivg;
+      set_u32 b (pos + 4) ivd)
+    t.Iv_table.failed_points;
+  seal b ~pos:lay.Layout.failed_off ~len:lay.Layout.failed_len;
+  Bytes.unsafe_to_string b
+
+let write ~path ~cache_key t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode ~cache_key t))
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+
+(* One validator over two byte sources: the mapped file (zero-copy
+   views straight into the mapping) and an in-memory string (tests,
+   tools; views are fresh copies). *)
+type source = {
+  s_len : int;
+  s_get : int -> char;  (* header-sized reads only *)
+  s_crc : pos:int -> len:int -> int;
+  s_sub : pos:int -> len:int -> string;
+  s_f64 : pos:int -> n:int -> farray;
+}
+
+let get_u8 src pos = Char.code (src.s_get pos)
+
+let get_u16 src pos = get_u8 src pos lor (get_u8 src (pos + 1) lsl 8)
+
+let get_u32 src pos = get_u16 src pos lor (get_u16 src (pos + 2) lsl 16)
+
+(* Only read after the header CRC has been verified, so the writer's
+   value (always a sane file size) is what we assemble; the top byte
+   cannot carry into the sign bit for any honest file. *)
+let get_u64 src pos = get_u32 src pos lor (get_u32 src (pos + 4) lsl 32)
+
+let validate ~path src =
+  let fail reason = corrupt ~path reason in
+  let check_crc ~section ~pos ~len =
+    if
+      get_u32 src (pos + len + 4) <> 0
+      || get_u32 src (pos + len) <> src.s_crc ~pos ~len
+    then fail (Robust_error.Crc_mismatch { section })
+  in
+  let got = src.s_len in
+  if got < Layout.min_file_size then
+    fail (Robust_error.Truncated { expected = Layout.min_file_size; got });
+  for i = 0 to 5 do
+    if src.s_get i <> magic.[i] then fail Robust_error.Bad_magic
+  done;
+  let v = get_u16 src 6 in
+  if v <> version then fail (Robust_error.Bad_version { found = v });
+  let ckl = get_u32 src 8 and tkl = get_u32 src 12 in
+  let hdr_end = Layout.fixed_header_size + pad8 ckl + pad8 tkl in
+  if hdr_end + 8 > got then
+    fail (Robust_error.Truncated { expected = hdr_end + 8; got });
+  check_crc ~section:"header" ~pos:0 ~len:hdr_end;
+  (* The header is now trusted: every field below is what the writer
+     wrote, so the remaining failure modes are truncation (size
+     mismatch) and per-section bit rot (column CRCs). *)
+  let n_vg = get_u32 src 16 and n_vd = get_u32 src 20 in
+  let n_failed = get_u32 src 24 and n_cols = get_u32 src 28 in
+  let total = get_u64 src 32 in
+  if total <> got then fail (Robust_error.Truncated { expected = total; got });
+  let lay = Layout.of_lengths ~ckl ~tkl ~n_vg ~n_vd ~n_failed in
+  (* Defensive consistency of the stored offsets against the derived
+     layout: unreachable for files produced by [encode] (the header CRC
+     already passed), kept so a buggy foreign writer cannot steer reads
+     out of bounds. *)
+  if
+    n_cols <> 4
+    || lay.Layout.total <> total
+    || get_u64 src 72 <> lay.Layout.failed_off
+    || Array.exists Fun.id
+         (Array.mapi
+            (fun i off -> get_u64 src (40 + (8 * i)) <> off)
+            lay.Layout.col_off)
+  then fail (Robust_error.Crc_mismatch { section = "header" });
+  Array.iteri
+    (fun i section ->
+      check_crc ~section ~pos:lay.Layout.col_off.(i) ~len:lay.Layout.col_len.(i))
+    col_names;
+  check_crc ~section:"failed_points" ~pos:lay.Layout.failed_off
+    ~len:lay.Layout.failed_len;
+  let failed_points =
+    List.init n_failed (fun k ->
+        let pos = lay.Layout.failed_off + (8 * k) in
+        let ivg = get_u32 src pos and ivd = get_u32 src (pos + 4) in
+        if ivg >= n_vg || ivd >= n_vd then
+          fail (Robust_error.Crc_mismatch { section = "failed_points" });
+        (ivg, ivd))
+  in
+  {
+    v_version = v;
+    v_cache_key = src.s_sub ~pos:Layout.fixed_header_size ~len:ckl;
+    v_table_key = src.s_sub ~pos:(Layout.fixed_header_size + pad8 ckl) ~len:tkl;
+    v_n_vg = n_vg;
+    v_n_vd = n_vd;
+    v_vg = src.s_f64 ~pos:lay.Layout.col_off.(0) ~n:n_vg;
+    v_vd = src.s_f64 ~pos:lay.Layout.col_off.(1) ~n:n_vd;
+    v_current = src.s_f64 ~pos:lay.Layout.col_off.(2) ~n:(n_vg * n_vd);
+    v_charge = src.s_f64 ~pos:lay.Layout.col_off.(3) ~n:(n_vg * n_vd);
+    v_failed_points = failed_points;
+  }
+
+let read ~path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      match Unix.close fd with () -> () | exception Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let size = (Unix.fstat fd).Unix.st_size in
+  (* Mapping a zero-length file is an error at the mmap level; reject
+     short files before touching the mapping machinery. *)
+  if size < Layout.min_file_size then
+    corrupt ~path (Robust_error.Truncated { expected = Layout.min_file_size; got = size });
+  let ba =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |])
+  in
+  let src =
+    {
+      s_len = size;
+      s_get = Bigarray.Array1.get ba;
+      s_crc = (fun ~pos ~len -> Crc32.bigarray ba ~pos ~len);
+      s_sub =
+        (fun ~pos ~len -> String.init len (fun i -> Bigarray.Array1.get ba (pos + i)));
+      s_f64 =
+        (fun ~pos ~n ->
+          (* Column offsets are 8-aligned by construction; map_file
+             handles the page-alignment delta internally, so this view
+             shares pages with the validation mapping — zero copies. *)
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.float64
+               Bigarray.c_layout false [| n |]));
+    }
+  in
+  validate ~path src
+
+let decode ?(path = "<bytes>") s =
+  let src =
+    {
+      s_len = String.length s;
+      s_get = String.get s;
+      s_crc = (fun ~pos ~len -> Crc32.string s ~pos ~len);
+      s_sub = (fun ~pos ~len -> String.sub s pos len);
+      s_f64 =
+        (fun ~pos ~n ->
+          let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+          for k = 0 to n - 1 do
+            Bigarray.Array1.set a k
+              (Int64.float_of_bits (String.get_int64_le s (pos + (8 * k))))
+          done;
+          a);
+    }
+  in
+  validate ~path src
+
+let to_table v =
+  let n_vd = v.v_n_vd in
+  {
+    Iv_table.key = v.v_table_key;
+    vg = Array.init v.v_n_vg (Bigarray.Array1.get v.v_vg);
+    vd = Array.init n_vd (Bigarray.Array1.get v.v_vd);
+    current =
+      Array.init v.v_n_vg (fun ig ->
+          Array.init n_vd (fun jd ->
+              Bigarray.Array1.get v.v_current ((ig * n_vd) + jd)));
+    charge =
+      Array.init v.v_n_vg (fun ig ->
+          Array.init n_vd (fun jd ->
+              Bigarray.Array1.get v.v_charge ((ig * n_vd) + jd)));
+    failed_points = v.v_failed_points;
+  }

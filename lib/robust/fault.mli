@@ -42,6 +42,12 @@ type site
 (** A named injection point.  Create once at module level ({!site}
     interns by name: same name, same site). *)
 
+val splitmix64 : int64 -> int64
+(** The splitmix64 finalizer behind the deterministic hit decisions,
+    exposed so other deterministic-mutation machinery (the [gnrtbl]
+    corruption-matrix fuzzer, test/test_tbl_format.ml) can share one
+    audited mixing function instead of growing private RNGs. *)
+
 exception Injected of { site : string; hit : int }
 (** Raised by {!fail} when the armed campaign selects this hit.  [hit]
     is 1-based and counts calls made while armed. *)

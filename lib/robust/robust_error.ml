@@ -1,3 +1,10 @@
+type corrupt_reason =
+  | Bad_magic
+  | Bad_version of { found : int }
+  | Crc_mismatch of { section : string }
+  | Truncated of { expected : int; got : int }
+  | Undecodable of { detail : string }
+
 type t =
   | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
   | Scf_max_iter of { vg : float; vd : float; iterations : int; residual : float }
@@ -7,11 +14,27 @@ type t =
       residual : float;
     }
   | Newton_failure of { analysis : string; time : float }
-  | Cache_corrupt of { path : string; reason : string }
+  | Cache_corrupt of { path : string; reason : corrupt_reason }
   | Injected_fault of { site : string; hit : int }
   | Unrecovered of { stage : string; attempts : int; detail : string }
 
 exception Error of t
+
+let corrupt_label = function
+  | Bad_magic -> "bad_magic"
+  | Bad_version _ -> "bad_version"
+  | Crc_mismatch _ -> "crc_mismatch"
+  | Truncated _ -> "truncated"
+  | Undecodable _ -> "undecodable"
+
+let corrupt_reason_to_string = function
+  | Bad_magic -> "bad magic (not a gnrtbl file)"
+  | Bad_version { found } -> Printf.sprintf "unsupported format version %d" found
+  | Crc_mismatch { section } ->
+    Printf.sprintf "CRC-32C mismatch in section %S" section
+  | Truncated { expected; got } ->
+    Printf.sprintf "truncated (expected %d bytes, got %d)" expected got
+  | Undecodable { detail } -> Printf.sprintf "undecodable (%s)" detail
 
 let to_string = function
   | Scf_stalled { vg; vd; iterations; residual } ->
@@ -29,7 +52,8 @@ let to_string = function
     if analysis = "dc" then "MNA Newton failed (dc operating point)"
     else Printf.sprintf "MNA Newton failed (%s, t=%.4g s)" analysis time
   | Cache_corrupt { path; reason } ->
-    Printf.sprintf "corrupt table cache file %s (%s); quarantined" path reason
+    Printf.sprintf "corrupt table cache file %s (%s); quarantined" path
+      (corrupt_reason_to_string reason)
   | Injected_fault { site; hit } ->
     Printf.sprintf "injected fault at site %s (hit %d)" site hit
   | Unrecovered { stage; attempts; detail } ->

@@ -7,6 +7,33 @@
     iteration count, residual).  Raised as {!Error}; classify foreign
     exceptions with [Robust.classify].  See docs/ROBUST.md. *)
 
+type corrupt_reason =
+  | Bad_magic  (** the file does not start with the [GNRTBL] magic *)
+  | Bad_version of { found : int }
+      (** a [gnrtbl] file from a format version this reader does not
+          speak (docs/FORMAT.md) *)
+  | Crc_mismatch of { section : string }
+      (** the named section ([“header”], [“vg”], [“vd”], [“current”],
+          [“charge”], [“failed_points”]) failed its CRC-32C check *)
+  | Truncated of { expected : int; got : int }
+      (** the file is shorter (or longer) than the layout demands;
+          [expected] is the byte count the header — or, below the
+          minimum header size, the format — requires *)
+  | Undecodable of { detail : string }
+      (** not attributable to a precise section: legacy-Marshal parse
+          failures and injected read faults *)
+(** Why an on-disk table was rejected, precise enough that every
+    corruption-matrix mutation class maps to a distinct constructor
+    (docs/FORMAT.md lists the validation order that guarantees it). *)
+
+val corrupt_label : corrupt_reason -> string
+(** Constructor name in snake case ([“bad_magic”], …) — the suffix of
+    the per-reason quarantine counters
+    [table_cache.corrupt.<label>]. *)
+
+val corrupt_reason_to_string : corrupt_reason -> string
+(** One-line human-readable rendering. *)
+
 type t =
   | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
       (** SCF terminated by the stall detector: the residual stopped
@@ -22,9 +49,10 @@ type t =
       (** MNA Newton iteration failed after every escalation rung;
           [analysis] is ["dc"] or ["transient"], [time] the simulation
           time (0 for dc). *)
-  | Cache_corrupt of { path : string; reason : string }
-      (** An on-disk table failed to load; the file has been quarantined
-          (renamed to [<path>.corrupt]). *)
+  | Cache_corrupt of { path : string; reason : corrupt_reason }
+      (** An on-disk table failed validation; the file has been (or is
+          being) quarantined — renamed to [<path>.corrupt].  [reason]
+          is checksum-precise: see {!corrupt_reason}. *)
   | Injected_fault of { site : string; hit : int }
       (** A {!Fault} campaign injection that escaped every recovery
           layer (only reachable when a ladder is exhausted). *)

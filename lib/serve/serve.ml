@@ -44,6 +44,18 @@ exception Busy
 
 let create ?(config = default_config) () =
   let obs = config.ctx.Ctx.obs in
+  (* The serving tier's whole point is mmap-served disk hits
+     (docs/FORMAT.md): pre-register the table-cache counters a fleet
+     operator watches so a [stats] snapshot reports them (as 0) even
+     before the first disk hit, instead of omitting the row. *)
+  List.iter
+    (fun name -> ignore (Obs.Counter.make ~obs name : Obs.Counter.t))
+    [
+      "table_cache.mmap_hits";
+      "table_cache.disk_hits";
+      "table_cache.memory_hits";
+      "table_cache.misses";
+    ];
   let m =
     {
       c_requests = Obs.Counter.make ~obs "serve.requests";

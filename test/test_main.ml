@@ -12,6 +12,7 @@ let () =
       ("poisson", Test_poisson.suite);
       ("ctx", Test_ctx.suite);
       ("device", Test_device.suite);
+      ("device:tbl-format", Test_tbl_format.suite);
       ("device:golden-trace", Test_golden_trace.suite);
       ("robust", Test_robust.suite);
       ("serve", Test_serve.suite);

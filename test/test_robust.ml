@@ -279,10 +279,10 @@ let test_cache_corruption_matrix () =
   let path =
     match
       Sys.readdir dir |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".table")
+      |> List.filter (fun f -> Filename.check_suffix f ".gnrtbl")
     with
     | [ f ] -> Filename.concat dir f
-    | l -> Alcotest.failf "expected one .table file, found %d" (List.length l)
+    | l -> Alcotest.failf "expected one .gnrtbl file, found %d" (List.length l)
   in
   let good_bytes = read_file path in
   let reseed () =
@@ -293,26 +293,28 @@ let test_cache_corruption_matrix () =
     Alcotest.(check bool) (label ^ " reads as a miss") true
       (Option.is_none (Table_cache.lookup ~grid:micro_grid ~obs tiny))
   in
-  (* 1. Truncated file: quarantined. *)
+  (* 1. Truncated file: quarantined with the precise reason counted. *)
   write_file path (String.sub good_bytes 0 (String.length good_bytes / 2));
   Table_cache.clear_memory ();
   expect_miss "truncated file";
   Alcotest.(check int) "truncation quarantined" 1
     (read_counter "table_cache.corrupt_quarantined");
+  Alcotest.(check int) "truncation counted per reason" 1
+    (read_counter "table_cache.corrupt.truncated");
   Alcotest.(check bool) "truncated file renamed to .corrupt" true
     (Sys.file_exists (path ^ ".corrupt") && not (Sys.file_exists path));
   Sys.remove (path ^ ".corrupt");
-  (* 2. Garbage bytes: quarantined. *)
-  write_file path "certainly not a marshal stream";
+  (* 2. Garbage bytes (long enough to clear the size gate): bad magic. *)
+  write_file path (String.make 96 'x');
   Table_cache.clear_memory ();
   expect_miss "garbage file";
   Alcotest.(check int) "garbage quarantined" 2
     (read_counter "table_cache.corrupt_quarantined");
+  Alcotest.(check int) "garbage counted as bad magic" 1
+    (read_counter "table_cache.corrupt.bad_magic");
   Sys.remove (path ^ ".corrupt");
-  (* 3. Valid marshal, wrong key: a stale file, not a corrupt one. *)
-  let oc = open_out_bin path in
-  Marshal.to_channel oc ("bogus-key", synthetic_table ()) [];
-  close_out oc;
+  (* 3. Valid gnrtbl, wrong key: a stale file, not a corrupt one. *)
+  write_file path (Tbl_format.encode ~cache_key:"bogus-key" (synthetic_table ()));
   Table_cache.clear_memory ();
   expect_miss "key-mismatched file";
   Alcotest.(check int) "key mismatch is not quarantined" 2
@@ -325,15 +327,35 @@ let test_cache_corruption_matrix () =
       expect_miss "injected read fault");
   Alcotest.(check int) "injected fault quarantined" 3
     (read_counter "table_cache.corrupt_quarantined");
+  Alcotest.(check int) "injected fault counted as undecodable" 1
+    (read_counter "table_cache.corrupt.undecodable");
   Alcotest.(check bool) "injected-fault file renamed" true
     (Sys.file_exists (path ^ ".corrupt"));
   Sys.remove (path ^ ".corrupt");
-  (* 5. And an intact file still round-trips. *)
+  (* 5. A legacy Marshal file (gnrtbl absent) still reads via the
+     fallback — a disk hit that is not an mmap hit. *)
+  Table_cache.clear_memory ();
+  let key = Table_cache.key ~grid:micro_grid tiny in
+  let oc = open_out_bin (Table_cache.legacy_path key) in
+  Marshal.to_channel oc (key, t0) [];
+  close_out oc;
+  let mmap_before = read_counter "table_cache.mmap_hits" in
+  (match Table_cache.lookup ~grid:micro_grid ~obs tiny with
+  | Some t ->
+    approx "legacy fallback round-trips" t0.Iv_table.current.(1).(1)
+      t.Iv_table.current.(1).(1)
+  | None -> Alcotest.fail "expected a legacy-fallback disk hit");
+  Alcotest.(check int) "legacy hit is not an mmap hit" mmap_before
+    (read_counter "table_cache.mmap_hits");
+  Sys.remove (Table_cache.legacy_path key);
+  (* 6. And an intact gnrtbl file still round-trips, via the mapping. *)
   reseed ();
   match Table_cache.lookup ~grid:micro_grid ~obs tiny with
   | Some t ->
     approx "intact file round-trips" t0.Iv_table.current.(1).(1)
-      t.Iv_table.current.(1).(1)
+      t.Iv_table.current.(1).(1);
+    Alcotest.(check int) "gnrtbl hit counted as mmap hit" (mmap_before + 1)
+      (read_counter "table_cache.mmap_hits")
   | None -> Alcotest.fail "expected a disk hit from the intact file"
 
 let test_cache_store_failure_counted () =
@@ -595,7 +617,8 @@ let test_classify () =
         -> true
       | _ -> false);
   let typed =
-    Robust_error.Cache_corrupt { path = "/tmp/x"; reason = "truncated" }
+    Robust_error.Cache_corrupt
+      { path = "/tmp/x"; reason = Robust_error.Truncated { expected = 88; got = 0 } }
   in
   check_some "already-typed error" (Robust_error.Error typed) (( = ) typed);
   Alcotest.(check bool) "foreign exceptions stay foreign" true
@@ -611,7 +634,8 @@ let test_error_printing () =
       Robust_error.Iterative_no_convergence
         { solver = "cg"; iterations = 40; residual = 1e-4 };
       Robust_error.Newton_failure { analysis = "dc"; time = 0. };
-      Robust_error.Cache_corrupt { path = "p"; reason = "r" };
+      Robust_error.Cache_corrupt
+        { path = "p"; reason = Robust_error.Crc_mismatch { section = "vg" } };
       Robust_error.Injected_fault { site = "s"; hit = 1 };
       Robust_error.Unrecovered { stage = "scf"; attempts = 4; detail = "d" };
     ]

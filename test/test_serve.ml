@@ -347,6 +347,33 @@ let test_serve_backpressure () =
       (Obs.counter_value ~obs "table_cache.generates")
   | _ -> Alcotest.fail "expected a busy rejection"
 
+let test_serve_stats_reports_table_cache () =
+  (* A fresh server's stats snapshot must already carry the table-cache
+     hit-path counters (at 0) a fleet operator watches — in particular
+     table_cache.mmap_hits, the gnrtbl zero-copy hit count. *)
+  let server, _obs = make_server () in
+  Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
+  let line =
+    Serve_protocol.request_to_line
+      { Serve_protocol.id = Some 1; op = Serve_protocol.Stats }
+  in
+  match expect_ok (Serve.handle_line server line) with
+  | Sjson.Obj fields -> (
+    match List.assoc_opt "counters" fields with
+    | Some (Sjson.Obj counters) ->
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("stats reports " ^ name) true
+            (match List.assoc_opt name counters with
+            | Some (Sjson.Num 0.) -> true
+            | _ -> false))
+        [
+          "table_cache.mmap_hits"; "table_cache.disk_hits";
+          "table_cache.memory_hits"; "table_cache.misses";
+        ]
+    | _ -> Alcotest.fail "stats payload has no counters object")
+  | _ -> Alcotest.fail "stats payload is not an object"
+
 let test_serve_bad_request_and_ping () =
   let server, obs = make_server () in
   Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
@@ -445,6 +472,8 @@ let suite =
       test_serve_single_flight_acceptance;
     Alcotest.test_case "lru eviction" `Quick test_serve_lru_eviction;
     Alcotest.test_case "backpressure rejection" `Quick test_serve_backpressure;
+    Alcotest.test_case "stats reports table-cache counters" `Quick
+      test_serve_stats_reports_table_cache;
     Alcotest.test_case "bad request + ping" `Quick
       test_serve_bad_request_and_ping;
     Alcotest.test_case "stdio transport" `Quick test_serve_stdio_transport;
