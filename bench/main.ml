@@ -232,6 +232,37 @@ let load_gnrtbl () =
   let gnrtbl, _ = Lazy.force table_load_paths in
   Tbl_format.read ~path:gnrtbl
 
+(* Campaign fixture: enough samples that per-sample journal costs
+   dominate setup, and a trivial evaluator so the journal is all that
+   is being timed. *)
+let campaign_samples = 200
+
+let campaign_spec =
+  {
+    Campaign.name = "bench-resume-overhead";
+    samples = campaign_samples;
+    seed = 11;
+    stages = 15;
+    widths = [ 9; 12; 15; 18 ];
+    charges = [ 0.; -1. ];
+    gammas = [ 0.5; 1. ];
+    ops = [ (0.4, 0.13); (0.5, 0.1) ];
+    grid = None;
+  }
+
+let campaign_eval (s : Campaign.sample) =
+  let i = float_of_int (s.Campaign.s_index + 1) in
+  { Campaign.delay = 1e-12 *. i; edp = 1e-27 *. i *. i; snm = 0.05 }
+
+let campaign_journal_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gnrfet_bench_campaign.%d.gnrcamp" (Unix.getpid ()))
+
+let campaign_cleanup () =
+  match Sys.remove campaign_journal_path with
+  | () -> ()
+  | exception Sys_error _ -> ()
+
 let all_kernels : (string * (unit -> float)) list =
   [
     ("fig2a:scf-iv-sweep", Exp_fig2a.bench_kernel);
@@ -316,6 +347,22 @@ let all_kernels : (string * (unit -> float)) list =
         let v = load_gnrtbl () in
         Bigarray.Array1.get v.Tbl_format.v_current
           ((tl_n_vg / 2 * tl_n_vd) + (tl_n_vd / 2)) );
+    (* PR 9 campaign durability (docs/CAMPAIGN.md): one full journaled
+       campaign (append + fsync per sample) followed by a resume that
+       replays every record — the write-ahead and recovery paths the
+       chaos CI leg depends on, timed end to end over a trivial
+       evaluator so the journal dominates. *)
+    ( "campaign:resume-overhead",
+      fun () ->
+        let o =
+          Campaign.run_with ~journal:campaign_journal_path
+            ~evaluate:campaign_eval campaign_spec
+        in
+        let r =
+          Campaign.run_with ~journal:campaign_journal_path ~resume:true
+            ~evaluate:campaign_eval campaign_spec
+        in
+        float_of_int (o.Campaign.evaluated + r.Campaign.resumed) );
   ]
 
 let kernels =
@@ -621,6 +668,76 @@ let run_table_load_comparison () =
       }
   end
 
+(* Campaign journal overhead (PR 9, docs/CAMPAIGN.md): a trivial
+   evaluator isolates the durability machinery — bare run vs journaled
+   run (append + fsync every sample) vs batched checkpoints vs pure
+   replay of a complete journal.  The replay number is what `campaign
+   resume` pays before the first new sample.  Skipped when the kernel
+   filter selects no campaign kernel. *)
+type campaign_result = {
+  ca_bare_ms : float;
+  ca_journal_ms : float;
+  ca_batched_ms : float;
+  ca_replay_ms : float;
+}
+
+let run_campaign_comparison () =
+  if
+    not
+      (List.exists
+         (fun (name, _) ->
+           String.length name >= 8 && String.sub name 0 8 = "campaign")
+         kernels)
+  then None
+  else begin
+    Printf.printf "\n== campaign: checkpoint journal overhead (%d samples) ==\n%!"
+      campaign_samples;
+    let bare () =
+      float_of_int
+        (Campaign.run_with ~evaluate:campaign_eval campaign_spec)
+          .Campaign.evaluated
+    in
+    let journaled every () =
+      float_of_int
+        (Campaign.run_with ~journal:campaign_journal_path
+           ~checkpoint_every:every ~evaluate:campaign_eval campaign_spec)
+          .Campaign.evaluated
+    in
+    let replay () =
+      float_of_int
+        (Campaign.run_with ~journal:campaign_journal_path ~resume:true
+           ~evaluate:campaign_eval campaign_spec)
+          .Campaign.resumed
+    in
+    let warm_ms kernel =
+      ignore (Sys.opaque_identity (kernel ()));
+      time_ms kernel
+    in
+    let bare_ms = warm_ms bare in
+    let journal_ms = warm_ms (journaled 1) in
+    let batched_ms = warm_ms (journaled 16) in
+    (* journaled left a complete journal behind; time pure replay. *)
+    let replay_ms = warm_ms replay in
+    let per ms = ms *. 1e3 /. float_of_int campaign_samples in
+    Printf.printf
+      "   bare %8.2f ms   journal(fsync/sample) %8.2f ms   every-16 %8.2f \
+       ms   replay %8.2f ms\n%!"
+      bare_ms journal_ms batched_ms replay_ms;
+    Printf.printf
+      "   overhead %.1f us/sample (fsync each)   %.1f us/sample (every 16)   \
+       replay %.1f us/sample\n%!"
+      (per (journal_ms -. bare_ms))
+      (per (batched_ms -. bare_ms))
+      (per replay_ms);
+    Some
+      {
+        ca_bare_ms = bare_ms;
+        ca_journal_ms = journal_ms;
+        ca_batched_ms = batched_ms;
+        ca_replay_ms = replay_ms;
+      }
+  end
+
 (* The CI smoke kernels (fig2a / fig5 / ablations) call Scf.solve directly
    and never touch the on-disk table cache, so a report from a smoke run
    would show zero cache activity.  Exercise the cache explicitly on a
@@ -657,12 +774,13 @@ let exercise_table_cache () =
 (* Hand-rolled JSON (no json dependency in the image): flat schema, one
    object per kernel plus the observability snapshot, documented in
    docs/PERF.md and docs/OBS.md. *)
-let write_json path ~domains ~kernel_times ~pairs ~block_rgf ~table_load ~serve =
+let write_json path ~domains ~kernel_times ~pairs ~block_rgf ~table_load
+    ~campaign ~serve =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"gnrfet-bench-v5\",\n";
-  add "  \"pr\": 8,\n";
+  add "  \"schema\": \"gnrfet-bench-v6\",\n";
+  add "  \"pr\": 9,\n";
   add "  \"domains\": %d,\n" domains;
   (match table_load with
   | None -> ()
@@ -685,6 +803,22 @@ let write_json path ~domains ~kernel_times ~pairs ~block_rgf ~table_load ~serve 
       (r.tl_marshal_ms /. r.tl_gnrtbl_ms);
     add "    \"marshal_gc_per_load\": %s,\n" (gc_obj r.tl_marshal_gc);
     add "    \"gnrtbl_gc_per_load\": %s\n" (gc_obj r.tl_gnrtbl_gc);
+    add "  },\n");
+  (match campaign with
+  | None -> ()
+  | Some r ->
+    let per ms = ms *. 1e3 /. float_of_int campaign_samples in
+    add "  \"campaign\": {\n";
+    add "    \"samples\": %d,\n" campaign_samples;
+    add
+      "    \"bare_ms\": %.6g, \"journal_ms\": %.6g, \"journal_every16_ms\": \
+       %.6g, \"replay_ms\": %.6g,\n"
+      r.ca_bare_ms r.ca_journal_ms r.ca_batched_ms r.ca_replay_ms;
+    add "    \"checkpoint_overhead_us_per_sample\": %.4g,\n"
+      (per (r.ca_journal_ms -. r.ca_bare_ms));
+    add "    \"batched_overhead_us_per_sample\": %.4g,\n"
+      (per (r.ca_batched_ms -. r.ca_bare_ms));
+    add "    \"replay_us_per_sample\": %.4g\n" (per r.ca_replay_ms);
     add "  },\n");
   (let generates, coalesced, lru_hits, requests = serve in
    add
@@ -782,6 +916,7 @@ let () =
   let pairs = run_energy_loop_comparison () in
   let block_rgf = run_block_rgf_comparison () in
   let table_load = run_table_load_comparison () in
+  let campaign = run_campaign_comparison () in
   exercise_table_cache ();
   (* One clean serve sweep for the report's counter breakdown (the
      Bechamel kernel above times it; this run pins the counts). *)
@@ -797,9 +932,10 @@ let () =
   let json_path =
     match Sys.getenv_opt "GNRFET_BENCH_JSON" with
     | Some p when p <> "" -> p
-    | Some _ | None -> "BENCH_PR8.json"
+    | Some _ | None -> "BENCH_PR9.json"
   in
   write_json json_path ~domains:(Parallel.num_domains ()) ~kernel_times ~pairs
-    ~block_rgf ~table_load ~serve;
+    ~block_rgf ~table_load ~campaign ~serve;
   table_load_cleanup ();
+  campaign_cleanup ();
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -549,7 +549,7 @@ let query_cmd =
         Printf.eprintf "unknown op %S (ping|stats|table|iv|shutdown)\n" other;
         exit 2
     in
-    let client = Serve_client.connect ~path:socket in
+    let client = Serve_client.connect ~path:socket () in
     Fun.protect
       ~finally:(fun () -> Serve_client.close client)
       (fun () ->
@@ -565,6 +565,192 @@ let query_cmd =
     (Cmd.info "query" ~doc:"One-shot client for a running serve daemon")
     Term.(
       const run $ socket_arg $ op_arg $ index_arg $ charge_arg $ vg_arg $ vd_arg)
+
+(* campaign: crash-safe resumable device campaigns (docs/CAMPAIGN.md) *)
+let campaign_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Campaign spec (JSON; grammar in docs/CAMPAIGN.md).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead checkpoint journal.  Required for resume; without \
+             it a run is fast but a crash loses everything.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final report JSON here (atomically) instead of \
+             stdout.")
+  in
+  let serve_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve" ] ~docv:"SOCKET"
+          ~doc:
+            "Fetch device tables from the serve daemon at this Unix socket \
+             (hardened client: deadlines, retry honoring retry_after_ms, \
+             circuit breaker) instead of generating locally.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"fsync the journal every K samples (default 1).")
+  in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "With --serve: fail samples on client errors instead of \
+             degrading to local generation.")
+  in
+  let load_spec path =
+    let src =
+      match In_channel.with_open_bin path In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg ->
+        Printf.eprintf "campaign: cannot read spec: %s\n" msg;
+        exit 2
+    in
+    match Result.bind (Sjson.parse src) Campaign.spec_of_json with
+    | Ok spec -> spec
+    | Error msg ->
+      Printf.eprintf "campaign: bad spec %s: %s\n" path msg;
+      exit 2
+  in
+  let exec ~resume spec_path journal out serve checkpoint no_fallback =
+    let spec = load_spec spec_path in
+    let kill_after =
+      Option.bind (Sys.getenv_opt "GNRFET_CAMPAIGN_KILL_AFTER")
+        int_of_string_opt
+    in
+    let with_executor f =
+      match serve with
+      | None -> f None
+      | Some socket ->
+        let client = Serve_client.connect ~path:socket () in
+        let fallback = if no_fallback then None else Some Ctx.default in
+        Fun.protect
+          ~finally:(fun () -> Serve_client.close client)
+          (fun () -> f (Some (Campaign.serve_executor ?fallback client ())))
+    in
+    match
+      with_executor (fun executor ->
+          Campaign.run ?executor ?journal ~resume ~checkpoint_every:checkpoint
+            ?kill_after spec)
+    with
+    | outcome ->
+      (match outcome.Campaign.torn with
+      | Some reason ->
+        Printf.eprintf "campaign: dropped torn journal tail (%s)\n"
+          (Robust_error.torn_reason_to_string reason)
+      | None -> ());
+      if outcome.Campaign.duplicates > 0 then
+        Printf.eprintf "campaign: skipped %d duplicate journal record(s)\n"
+          outcome.Campaign.duplicates;
+      Printf.eprintf
+        "campaign %s: %d samples (%d replayed, %d evaluated, %d quarantined)\n"
+        spec.Campaign.name outcome.Campaign.report.Campaign.r_total
+        outcome.Campaign.resumed outcome.Campaign.evaluated
+        (List.length outcome.Campaign.report.Campaign.r_quarantined);
+      (match out with
+      | Some path -> Campaign.write_report ~path outcome.Campaign.report
+      | None ->
+        print_endline
+          (Sjson.to_string (Campaign.report_to_json outcome.Campaign.report)))
+    | exception Robust_error.Error e ->
+      Printf.eprintf "campaign: %s\n" (Robust_error.to_string e);
+      exit 1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "campaign: %s\n" msg;
+      exit 2
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a campaign from scratch (an existing journal at --journal \
+            is overwritten)")
+      Term.(
+        const (fun a b c d e f -> exec ~resume:false a b c d e f)
+        $ spec_arg $ journal_arg $ out_arg $ serve_arg $ checkpoint_arg
+        $ no_fallback_arg)
+  in
+  let resume_cmd =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Replay the journal's valid prefix (dropping a torn tail with a \
+            typed reason) and continue from the first unrecorded sample; \
+            the final report is bit-identical to an uninterrupted run")
+      Term.(
+        const (fun a b c d e f -> exec ~resume:true a b c d e f)
+        $ spec_arg $ journal_arg $ out_arg $ serve_arg $ checkpoint_arg
+        $ no_fallback_arg)
+  in
+  let status_cmd =
+    let journal_req =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "journal" ] ~docv:"FILE" ~doc:"Journal to inspect.")
+    in
+    let spec_opt =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "spec" ] ~docv:"FILE"
+            ~doc:"Verify the journal against this spec and report progress.")
+    in
+    let run journal spec_path =
+      let spec = Option.map load_spec spec_path in
+      match Campaign.status ~journal ?spec () with
+      | st ->
+        Printf.printf "journal:     %s\n" journal;
+        Printf.printf "spec_hash:   %08x\n" st.Campaign.st_spec_hash;
+        Printf.printf "recorded:    %d%s\n" st.Campaign.st_recorded
+          (match st.Campaign.st_total with
+          | Some total -> Printf.sprintf " / %d" total
+          | None -> "");
+        Printf.printf "completed:   %d\n" st.Campaign.st_completed;
+        Printf.printf "quarantined: %d\n" st.Campaign.st_quarantined;
+        Printf.printf "duplicates:  %d\n" st.Campaign.st_duplicates;
+        (match st.Campaign.st_torn with
+        | Some reason ->
+          Printf.printf "torn:        %s\n"
+            (Robust_error.torn_reason_to_string reason)
+        | None -> Printf.printf "torn:        none\n")
+      | exception Robust_error.Error e ->
+        Printf.eprintf "campaign: %s\n" (Robust_error.to_string e);
+        exit 1
+      | exception Sys_error msg ->
+        Printf.eprintf "campaign: cannot read journal: %s\n" msg;
+        exit 2
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Inspect a checkpoint journal without running anything")
+      Term.(const run $ journal_req $ spec_opt)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Crash-safe resumable device campaigns with a write-ahead \
+          checkpoint journal (docs/CAMPAIGN.md)")
+    [ run_cmd; resume_cmd; status_cmd ]
 
 (* Static analysis over the tree, sharing Gnrlint_lib.Engine with the
    standalone tools/gnrlint executable (same flags, same rules, same
@@ -635,6 +821,6 @@ let main =
     [ bands_cmd; iv_cmd; vt_cmd; explore_cmd; tables_cmd; experiment_cmd;
       mc_cmd; export_cmd; simulate_cmd; roughness_cmd; ablations_cmd;
       latch_write_cmd; obs_report_cmd; robust_report_cmd; serve_cmd;
-      query_cmd; lint_cmd ]
+      query_cmd; campaign_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,301 @@
+(* Write-ahead checkpoint journal for campaign runs (docs/CAMPAIGN.md).
+
+   One file per campaign: a 16-byte header (magic+version, the CRC-32C
+   hash of the canonical spec JSON, a header CRC) followed by
+   append-only CRC-32C-framed sample records.  The header is created
+   atomically (tmp + rename, both fsync'd); records are appended and
+   fsync'd at checkpoint boundaries, which is the whole durability
+   story: a crash can only ever damage the unsynced tail, and replay
+   drops a torn tail with a typed reason instead of an exception.
+
+   Byte layout (all integers little-endian):
+
+     header   0  8  magic "GNRCAMP\x01" (last byte = format version 1)
+              8  4  u32 spec hash (CRC-32C of the canonical spec JSON)
+             12  4  u32 CRC-32C of bytes 0..11
+     record   0  4  u32 payload length L (sanity-capped)
+              4  4  u32 CRC-32C of the payload
+              8  L  payload
+     payload  0  4  u32 sample index (must equal the append position)
+              4  1  u8 status: 0 = done, 1 = quarantined
+              5  -  done: 3 x f64 bits (delay s, EDP J.s, SNM V)
+                    quarantined: UTF-8 reason string to end of payload *)
+
+let magic = "GNRCAMP\x01"
+
+let header_len = 16
+
+(* A frame longer than this is a corrupted length field, not a real
+   record: quarantine reasons are one-line error renders. *)
+let max_payload = 1 lsl 20
+
+type entry =
+  | Done of { index : int; delay : float; edp : float; snm : float }
+  | Quarantined of { index : int; reason : string }
+
+let entry_index = function
+  | Done { index; _ } -> index
+  | Quarantined { index; _ } -> index
+
+type replay = {
+  entries : entry list;
+  next : int;
+  torn : Robust_error.torn_reason option;
+  duplicates : int;
+  good_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let encode_entry e =
+  let b = Buffer.create 48 in
+  let u32 v =
+    let x = Bytes.create 4 in
+    Bytes.set_int32_le x 0 (Int32.of_int v);
+    Buffer.add_bytes b x
+  in
+  let f64 v =
+    let x = Bytes.create 8 in
+    Bytes.set_int64_le x 0 (Int64.bits_of_float v);
+    Buffer.add_bytes b x
+  in
+  (match e with
+  | Done { index; delay; edp; snm } ->
+    u32 index;
+    Buffer.add_char b '\x00';
+    f64 delay;
+    f64 edp;
+    f64 snm
+  | Quarantined { index; reason } ->
+    u32 index;
+    Buffer.add_char b '\x01';
+    Buffer.add_string b reason);
+  Buffer.contents b
+
+let frame_entry e =
+  let payload = encode_entry e in
+  let len = String.length payload in
+  let crc = Crc32.string payload ~pos:0 ~len in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Int32.of_int crc);
+  Bytes.blit_string payload 0 b 8 len;
+  Bytes.unsafe_to_string b
+
+let header_bytes ~spec_hash =
+  let b = Bytes.create header_len in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int32_le b 8 (Int32.of_int spec_hash);
+  let crc = Crc32.string (Bytes.unsafe_to_string b) ~pos:0 ~len:12 in
+  Bytes.set_int32_le b 12 (Int32.of_int crc);
+  Bytes.unsafe_to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding / replay                                                   *)
+
+let u32_at s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let f64_at s pos = Int64.float_of_bits (String.get_int64_le s pos)
+
+let hex8 v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)
+
+let decode_payload s ~pos ~len =
+  (* Caller has checked the CRC, so a malformed payload here means a
+     writer from the future, not line noise; reject it all the same. *)
+  if len < 5 then None
+  else begin
+    let index = u32_at s pos in
+    match s.[pos + 4] with
+    | '\x00' when len = 4 + 1 + 24 ->
+      Some
+        (Done
+           {
+             index;
+             delay = f64_at s (pos + 5);
+             edp = f64_at s (pos + 13);
+             snm = f64_at s (pos + 21);
+           })
+    | '\x01' ->
+      Some
+        (Quarantined { index; reason = String.sub s (pos + 5) (len - 5) })
+    | _ -> None
+  end
+
+let validate_header ~path ?expect_hash src =
+  let fatal reason =
+    Robust_error.raise_ (Robust_error.Checkpoint_torn { path; reason })
+  in
+  if String.length src < header_len then
+    fatal
+      (Robust_error.Torn_bad_header
+         {
+           detail =
+             Printf.sprintf "file is %d bytes, shorter than one header"
+               (String.length src);
+         });
+  if String.sub src 0 8 <> magic then
+    fatal (Robust_error.Torn_bad_header { detail = "bad magic" });
+  let crc_stored = u32_at src 12 in
+  let crc_actual = Crc32.string src ~pos:0 ~len:12 in
+  if crc_stored <> crc_actual then
+    fatal (Robust_error.Torn_bad_header { detail = "header CRC-32C mismatch" });
+  let found = u32_at src 8 in
+  (match expect_hash with
+  | Some expected when expected land 0xFFFFFFFF <> found ->
+    fatal
+      (Robust_error.Torn_spec_mismatch
+         { expected = hex8 expected; found = hex8 found })
+  | _ -> ());
+  found
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+      match close_in ic with () -> () | exception Sys_error _ -> ())
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spec_hash_of_file ~path = validate_header ~path (read_file path)
+
+let replay ~path ?expect_hash () =
+  let src = read_file path in
+  let (_ : int) = validate_header ~path ?expect_hash src in
+  let total = String.length src in
+  let entries = ref [] in
+  let next = ref 0 in
+  let duplicates = ref 0 in
+  let torn = ref None in
+  let good = ref header_len in
+  let record = ref 0 in
+  let rec scan pos =
+    if pos < total then begin
+      if pos + 8 > total then
+        torn := Some (Robust_error.Torn_truncated { offset = pos })
+      else begin
+        let len = u32_at src pos in
+        if len > max_payload || pos + 8 + len > total then
+          torn := Some (Robust_error.Torn_truncated { offset = pos })
+        else begin
+          let crc_stored = u32_at src (pos + 4) in
+          let crc_actual = Crc32.string src ~pos:(pos + 8) ~len in
+          if crc_stored <> crc_actual then
+            torn :=
+              Some (Robust_error.Torn_crc { record = !record; offset = pos })
+          else begin
+            match decode_payload src ~pos:(pos + 8) ~len with
+            | None ->
+              torn :=
+                Some (Robust_error.Torn_crc { record = !record; offset = pos })
+            | Some e ->
+              let idx = entry_index e in
+              if idx < !next then begin
+                (* A duplicate of an already-replayed sample: count it
+                   and move on — never fed to the accumulators twice. *)
+                incr duplicates;
+                incr record;
+                good := pos + 8 + len;
+                scan (pos + 8 + len)
+              end
+              else if idx > !next then
+                torn :=
+                  Some
+                    (Robust_error.Torn_out_of_order
+                       { record = !record; expected = !next; found = idx })
+              else begin
+                entries := e :: !entries;
+                next := !next + 1;
+                incr record;
+                good := pos + 8 + len;
+                scan (pos + 8 + len)
+              end
+          end
+        end
+      end
+    end
+  in
+  scan header_len;
+  {
+    entries = List.rev !entries;
+    next = !next;
+    torn = !torn;
+    duplicates = !duplicates;
+    good_bytes = !good;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+type writer = { w_path : string; w_fd : Unix.file_descr }
+
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () ->
+        match Unix.close dfd with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.fsync dfd with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go pos =
+    if pos < len then begin
+      let n = Unix.write fd b pos (len - pos) in
+      go (pos + n)
+    end
+  in
+  go 0
+
+let create ~path ~spec_hash =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (match
+     write_all fd (header_bytes ~spec_hash);
+     Unix.fsync fd
+   with
+  | () -> ()
+  | exception e ->
+    (match Unix.close fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ());
+    raise e);
+  Unix.close fd;
+  Unix.rename tmp path;
+  fsync_dir path;
+  let w_fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  { w_path = path; w_fd }
+
+let open_append ~path ~good_bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  (match
+     (* Cut the torn tail before appending, so the file never carries
+        garbage between valid records. *)
+     Unix.ftruncate fd good_bytes;
+     ignore (Unix.lseek fd good_bytes Unix.SEEK_SET : int)
+   with
+  | () -> ()
+  | exception e ->
+    (match Unix.close fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ());
+    raise e);
+  { w_path = path; w_fd = fd }
+
+let append w e = write_all w.w_fd (frame_entry e)
+
+let sync w = Unix.fsync w.w_fd
+
+let path w = w.w_path
+
+let close w =
+  match Unix.close w.w_fd with () -> () | exception Unix.Unix_error _ -> ()

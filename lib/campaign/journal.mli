@@ -1,0 +1,82 @@
+(** Write-ahead checkpoint journal for campaign runs.
+
+    One append-only file per campaign: a 16-byte header binding the
+    journal to a spec (magic + format version, CRC-32C hash of the
+    canonical spec JSON, header CRC) followed by CRC-32C-framed sample
+    records — byte layout and an annotated hex dump in
+    docs/CAMPAIGN.md.  The header is created atomically (tmp + rename,
+    both fsync'd); records are appended and fsync'd at checkpoint
+    boundaries, so a crash can only damage the unsynced tail and
+    {!replay} drops that tail with a typed
+    {!Robust_error.torn_reason} — never an untyped exception.
+
+    CRC-32C comes from {!Crc32}, the same audited implementation the
+    [gnrtbl] table format validates with (docs/FORMAT.md). *)
+
+type entry =
+  | Done of { index : int; delay : float; edp : float; snm : float }
+      (** sample [index] completed; the three metric values are stored
+          as exact float64 bits so replay reconstructs the streaming
+          accumulators bit-for-bit *)
+  | Quarantined of { index : int; reason : string }
+      (** sample [index] was quarantined by the recovery ladder;
+          [reason] is the rendered typed error, replayed verbatim into
+          the report *)
+
+val entry_index : entry -> int
+
+type replay = {
+  entries : entry list;
+      (** the valid prefix, in append (= sample-index) order: entry [k]
+          always describes sample [k] *)
+  next : int;  (** first unrecorded sample index, [= List.length entries] *)
+  torn : Robust_error.torn_reason option;
+      (** [Some] when a recoverable torn tail was dropped (truncated
+          frame, record CRC mismatch, out-of-order index); the damage
+          starts at [good_bytes] *)
+  duplicates : int;
+      (** records naming an already-replayed sample, skipped so nothing
+          is ever double-counted *)
+  good_bytes : int;
+      (** byte offset where the valid prefix ends; {!open_append}
+          truncates here before appending *)
+}
+
+val replay : path:string -> ?expect_hash:int -> unit -> replay
+(** Validate the header and scan the records.  Raises
+    [Robust_error.Error (Checkpoint_torn _)] only for {e fatal} reasons
+    — unreadable header ([Torn_bad_header]) or a spec hash differing
+    from [expect_hash] ([Torn_spec_mismatch]) — because resuming past
+    those could mix campaigns or double-count; every recoverable
+    corruption is returned as data in [torn].  May raise [Sys_error]
+    when the file itself cannot be read. *)
+
+val spec_hash_of_file : path:string -> int
+(** Validate the header only and return the stored spec hash
+    ([campaign status] without the spec file).  Same fatal behavior as
+    {!replay}. *)
+
+type writer
+
+val create : path:string -> spec_hash:int -> writer
+(** Write a fresh journal header atomically (tmp + rename + fsync of
+    file and directory) and return a writer positioned for the first
+    record. *)
+
+val open_append : path:string -> good_bytes:int -> writer
+(** Open an existing journal for appending, truncating the torn tail at
+    [good_bytes] (from {!replay}) first so the file never carries
+    garbage between valid records. *)
+
+val append : writer -> entry -> unit
+(** Append one framed record (no implicit sync). *)
+
+val sync : writer -> unit
+(** [fsync] the journal — the checkpoint boundary.  Everything appended
+    before a returned [sync] survives a crash. *)
+
+val path : writer -> string
+
+val close : writer -> unit
+(** Close the descriptor (idempotent-safe: a double close is
+    swallowed). *)

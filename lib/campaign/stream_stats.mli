@@ -1,0 +1,53 @@
+(** Streaming per-metric analytics for campaign reports.
+
+    Welford mean/variance plus min/max and a {e binade histogram} (16
+    buckets per power of two, keyed on the top 16 bits of the IEEE-754
+    representation) from which p50/p90/p99 are interpolated — so a
+    10⁶-sample campaign holds O(occupied buckets), not O(samples), in
+    memory.  Percentiles are estimates with ≤ ~6% relative error (the
+    in-bucket spread); mean/stddev/min/max are exact.
+
+    Determinism: the accumulator state is a pure function of the value
+    {e sequence}.  The campaign engine always feeds values in
+    sample-index order — on resume, from the journal's recorded float64
+    bits — so an interrupted-and-resumed run reaches the same state
+    bit-for-bit as an uninterrupted one (docs/CAMPAIGN.md).  NaN inputs
+    are mapped to 0 rather than poisoning the moments. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n−1 denominator); 0 below two samples. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100], interpolated within the
+    binade bucket containing the rank; 0 when empty. *)
+
+type snapshot = {
+  s_count : int;
+  s_mean : float;
+  s_stddev : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+val snapshot : t -> snapshot
+
+val snapshot_to_json : snapshot -> Sjson.t
+(** Fixed field order ([count], [mean], [stddev], [min], [max], [p50],
+    [p90], [p99]) so reports are byte-diffable. *)

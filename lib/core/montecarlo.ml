@@ -9,6 +9,17 @@ let fault_sample = Fault.site "montecarlo.sample"
 
 let c_quarantined = Obs.Counter.make "robust.mc.quarantined"
 
+(* The one definition of "this sample failed for a reason the study can
+   survive": typed solver errors, injected faults, solver [Failure]s
+   and the numerics-layer exceptions.  The campaign engine
+   (lib/campaign) quarantines on exactly the same predicate so the two
+   statistical layers cannot drift apart. *)
+let quarantineable = function
+  | Robust_error.Error _ | Sparse.No_convergence _ | Fault.Injected _
+  | Failure _ | Numerics_error.Singular _ | Numerics_error.Stalled _ ->
+    true
+  | _ -> false
+
 (* The nine per-FET variants of the study. *)
 let mc_widths = [| 9; 12; 15 |]
 
@@ -57,9 +68,7 @@ let run_with ~evaluate ~stages ~samples ~seed ~sigma_probability ~nominal_ids
       evaluate ids
     with
     | s -> kept := s :: !kept
-    | exception (Robust_error.Error _ | Sparse.No_convergence _
-                | Fault.Injected _ | Failure _ | Numerics_error.Singular _
-                | Numerics_error.Stalled _) ->
+    | exception e when quarantineable e ->
       incr quarantined;
       Obs.Counter.incr c_quarantined
   done;

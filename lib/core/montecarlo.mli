@@ -27,6 +27,15 @@ type result = {
           healthy runs.  See docs/ROBUST.md. *)
 }
 
+val quarantineable : exn -> bool
+(** True for the exceptions a statistical study survives by dropping
+    the sample: [Robust_error.Error], [Sparse.No_convergence],
+    [Fault.Injected], [Failure] and the numerics-layer
+    [Singular]/[Stalled].  Shared by {!run_with} and the campaign
+    engine (lib/campaign) so the two quarantine policies stay
+    identical; anything else (out-of-memory, programming errors)
+    propagates. *)
+
 val run :
   ?op:Variation.op_point ->
   ?stages:int ->

@@ -42,9 +42,15 @@ type t = {
   counters : (string, counter_cell) Hashtbl.t;
   timers : (string, timer_cell) Hashtbl.t;
   histograms : (string, hist_cell) Hashtbl.t;
-  (* Per-domain stack of open spans; a fresh ref per domain, so worker
-     domains nest independently of the caller. *)
-  span_stack : span_frame list ref Domain.DLS.key;
+  (* Per-thread stacks of open spans, one table per domain (DLS).
+     Per-domain alone is not enough: systhreads sharing a domain (the
+     serve daemon's per-connection threads) would interleave push/pop
+     on one stack, and a perfectly balanced span could try to pop a
+     frame another thread pushed — a spurious Mismatch.  The table is
+     guarded by the registry mutex; each stack ref is then only ever
+     touched by its own thread.  Entries of finished threads linger,
+     bounded by the peak thread count of the domain. *)
+  span_stack : (int, span_frame list ref) Hashtbl.t Domain.DLS.key;
 }
 
 let create ?(enabled = false) () =
@@ -54,7 +60,7 @@ let create ?(enabled = false) () =
     counters = Hashtbl.create 64;
     timers = Hashtbl.create 32;
     histograms = Hashtbl.create 16;
-    span_stack = Domain.DLS.new_key (fun () -> ref []);
+    span_stack = Domain.DLS.new_key (fun () -> Hashtbl.create 8);
   }
 
 let env_enables_obs () =
@@ -171,13 +177,23 @@ end
 module Span = struct
   exception Mismatch of string
 
-  let depth reg = List.length !(Domain.DLS.get reg.span_stack)
+  let thread_stack reg =
+    let tbl = Domain.DLS.get reg.span_stack in
+    let id = Thread.id (Thread.self ()) in
+    Mutex.protect reg.mutex (fun () ->
+        match Hashtbl.find_opt tbl id with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.replace tbl id s;
+          s)
 
-  let stack reg =
-    List.map (fun f -> f.sp_name) !(Domain.DLS.get reg.span_stack)
+  let depth reg = List.length !(thread_stack reg)
+
+  let stack reg = List.map (fun f -> f.sp_name) !(thread_stack reg)
 
   let exit_span reg tm name =
-    let stack = Domain.DLS.get reg.span_stack in
+    let stack = thread_stack reg in
     match !stack with
     | { sp_name; sp_t0 } :: rest when String.equal sp_name name ->
       stack := rest;
@@ -189,7 +205,7 @@ module Span = struct
     if not (enabled reg) then f ()
     else begin
       let tm = Timer.make ~obs:reg name in
-      let stack = Domain.DLS.get reg.span_stack in
+      let stack = thread_stack reg in
       stack := { sp_name = name; sp_t0 = now () } :: !stack;
       match f () with
       | result ->

@@ -123,21 +123,23 @@ module Span : sig
 
   exception Mismatch of string
   (** Raised when a span exit does not match the innermost open span on
-      the current domain — structurally impossible through {!run}, kept
+      the current thread — structurally impossible through {!run}, kept
       as a checked invariant for the property suite. *)
 
   val run : ?obs:obs -> string -> (unit -> 'a) -> 'a
   (** [run name f] opens a span, runs [f], and closes the span whether
       [f] returns or raises; the elapsed time aggregates into the timer
-      named [name].  Spans nest per domain: the exit always matches the
-      innermost open span.  When the registry is disabled this is
-      exactly [f ()]. *)
+      named [name].  Spans nest {e per thread} (not merely per domain:
+      systhreads sharing a domain — the serve daemon's connection
+      threads — each get their own stack, so concurrent spans never
+      interleave): the exit always matches the innermost open span.
+      When the registry is disabled this is exactly [f ()]. *)
 
   val depth : t -> int
-  (** Open spans on the calling domain (0 outside any span). *)
+  (** Open spans on the calling thread (0 outside any span). *)
 
   val stack : t -> string list
-  (** Names of the open spans on the calling domain, innermost first. *)
+  (** Names of the open spans on the calling thread, innermost first. *)
 end
 
 (** {2 Snapshots} *)

@@ -5,6 +5,13 @@ type corrupt_reason =
   | Truncated of { expected : int; got : int }
   | Undecodable of { detail : string }
 
+type torn_reason =
+  | Torn_bad_header of { detail : string }
+  | Torn_spec_mismatch of { expected : string; found : string }
+  | Torn_truncated of { offset : int }
+  | Torn_crc of { record : int; offset : int }
+  | Torn_out_of_order of { record : int; expected : int; found : int }
+
 type t =
   | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
   | Scf_max_iter of { vg : float; vd : float; iterations : int; residual : float }
@@ -17,6 +24,9 @@ type t =
   | Cache_corrupt of { path : string; reason : corrupt_reason }
   | Injected_fault of { site : string; hit : int }
   | Unrecovered of { stage : string; attempts : int; detail : string }
+  | Client_timeout of { op : string; deadline_s : float }
+  | Client_disconnected of { op : string; detail : string }
+  | Checkpoint_torn of { path : string; reason : torn_reason }
 
 exception Error of t
 
@@ -35,6 +45,28 @@ let corrupt_reason_to_string = function
   | Truncated { expected; got } ->
     Printf.sprintf "truncated (expected %d bytes, got %d)" expected got
   | Undecodable { detail } -> Printf.sprintf "undecodable (%s)" detail
+
+let torn_label = function
+  | Torn_bad_header _ -> "bad_header"
+  | Torn_spec_mismatch _ -> "spec_mismatch"
+  | Torn_truncated _ -> "truncated"
+  | Torn_crc _ -> "crc"
+  | Torn_out_of_order _ -> "out_of_order"
+
+let torn_reason_to_string = function
+  | Torn_bad_header { detail } -> Printf.sprintf "bad header (%s)" detail
+  | Torn_spec_mismatch { expected; found } ->
+    Printf.sprintf "journal belongs to a different spec (expected %s, found %s)"
+      expected found
+  | Torn_truncated { offset } ->
+    Printf.sprintf "torn tail: truncated record at byte %d" offset
+  | Torn_crc { record; offset } ->
+    Printf.sprintf "torn tail: CRC-32C mismatch in record %d at byte %d" record
+      offset
+  | Torn_out_of_order { record; expected; found } ->
+    Printf.sprintf
+      "torn tail: record %d out of order (expected sample %d, found %d)" record
+      expected found
 
 let to_string = function
   | Scf_stalled { vg; vd; iterations; residual } ->
@@ -58,6 +90,13 @@ let to_string = function
     Printf.sprintf "injected fault at site %s (hit %d)" site hit
   | Unrecovered { stage; attempts; detail } ->
     Printf.sprintf "%s unrecovered after %d attempts: %s" stage attempts detail
+  | Client_timeout { op; deadline_s } ->
+    Printf.sprintf "serve client: %s timed out after %g s" op deadline_s
+  | Client_disconnected { op; detail } ->
+    Printf.sprintf "serve client: disconnected during %s (%s)" op detail
+  | Checkpoint_torn { path; reason } ->
+    Printf.sprintf "checkpoint journal %s: %s" path
+      (torn_reason_to_string reason)
 
 let () =
   Printexc.register_printer (function

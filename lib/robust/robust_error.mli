@@ -34,6 +34,41 @@ val corrupt_label : corrupt_reason -> string
 val corrupt_reason_to_string : corrupt_reason -> string
 (** One-line human-readable rendering. *)
 
+type torn_reason =
+  | Torn_bad_header of { detail : string }
+      (** the fixed-size journal header is unreadable: wrong magic,
+          unsupported version, header CRC mismatch, or the file is
+          shorter than one header (fatal: nothing can be salvaged) *)
+  | Torn_spec_mismatch of { expected : string; found : string }
+      (** the journal was written for a different campaign spec (hashes
+          in hex); resuming against it would mix incompatible samples
+          (fatal) *)
+  | Torn_truncated of { offset : int }
+      (** the final record frame is shorter than its declared length —
+          the classic torn append; the tail from [offset] is dropped and
+          replay keeps everything before it (recoverable) *)
+  | Torn_crc of { record : int; offset : int }
+      (** record [record] (0-based) failed its CRC-32C check; the tail
+          from [offset] is dropped (recoverable) *)
+  | Torn_out_of_order of { record : int; expected : int; found : int }
+      (** record [record] names sample [found] where the append-order
+          contract demands [expected]; the tail is dropped
+          (recoverable) *)
+(** Why a campaign checkpoint journal stopped replaying
+    (docs/CAMPAIGN.md).  Recoverable reasons drop the torn tail and
+    resume from the last good record; fatal reasons raise
+    {!Checkpoint_torn} because continuing could double-count or mix
+    campaigns.  Every corruption-matrix mutation class maps to a
+    distinct constructor. *)
+
+val torn_label : torn_reason -> string
+(** Constructor name in snake case ([“bad_header”], [“spec_mismatch”],
+    [“truncated”], [“crc”], [“out_of_order”]) — the suffix of the
+    per-reason counters [campaign.journal.torn.<label>]. *)
+
+val torn_reason_to_string : torn_reason -> string
+(** One-line human-readable rendering. *)
+
 type t =
   | Scf_stalled of { vg : float; vd : float; iterations : int; residual : float }
       (** SCF terminated by the stall detector: the residual stopped
@@ -59,6 +94,18 @@ type t =
   | Unrecovered of { stage : string; attempts : int; detail : string }
       (** An escalation ladder ran out of rungs; [detail] describes the
           last underlying failure. *)
+  | Client_timeout of { op : string; deadline_s : float }
+      (** A serve-client request missed its per-request deadline; the
+          connection is closed (a late response would desynchronize the
+          line protocol) and the next call reconnects. *)
+  | Client_disconnected of { op : string; detail : string }
+      (** The daemon connection dropped (EOF, EPIPE/ECONNRESET, or the
+          client's circuit breaker is open — [detail] says which)
+          during [op]. *)
+  | Checkpoint_torn of { path : string; reason : torn_reason }
+      (** A campaign checkpoint journal could not be (fully) replayed.
+          Raised only for fatal {!torn_reason}s; recoverable ones are
+          returned as data by the replay (docs/CAMPAIGN.md). *)
 
 exception Error of t
 

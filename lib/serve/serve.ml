@@ -24,6 +24,7 @@ type metrics = {
   c_jobs : Obs.Counter.t;
   c_errors : Obs.Counter.t;
   c_evictions : Obs.Counter.t;
+  c_disconnects : Obs.Counter.t;
   h_queue_depth : Obs.Histogram.t;
 }
 
@@ -43,6 +44,12 @@ type t = {
 exception Busy
 
 let create ?(config = default_config) () =
+  (* A client that vanishes mid-response must surface as EPIPE on the
+     write (counted below), not as a process-killing SIGPIPE.  No-op
+     where the signal does not exist. *)
+  (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | () -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ());
   let obs = config.ctx.Ctx.obs in
   (* The serving tier's whole point is mmap-served disk hits
      (docs/FORMAT.md): pre-register the table-cache counters a fleet
@@ -66,6 +73,7 @@ let create ?(config = default_config) () =
       c_jobs = Obs.Counter.make ~obs "serve.jobs";
       c_errors = Obs.Counter.make ~obs "serve.errors";
       c_evictions = Obs.Counter.make ~obs "serve.lru_evictions";
+      c_disconnects = Obs.Counter.make ~obs "serve.client_disconnects";
       h_queue_depth = Obs.Histogram.make ~obs "serve.queue_depth";
     }
   in
@@ -305,16 +313,30 @@ let serve_unix t ~path =
   let handle_conn fd =
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
+    (* A peer that disconnects while we write (EPIPE/ECONNRESET,
+       surfacing as Sys_error through the channel layer now that
+       SIGPIPE is ignored) is routine client behavior, not a server
+       fault: count it and end this connection's loop instead of
+       letting the exception kill the thread. *)
+    let write_response line =
+      match
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      with
+      | () -> true
+      | exception (Sys_error _ | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _))
+        ->
+        Obs.Counter.incr t.m.c_disconnects;
+        false
+    in
     let rec loop () =
       match input_line ic with
       | line ->
         let line = String.trim line in
-        if line <> "" then begin
-          output_string oc (handle_line t line);
-          output_char oc '\n';
-          flush oc
-        end;
-        if stopping t then
+        let alive = if line <> "" then write_response (handle_line t line) else true in
+        if not alive then ()
+        else if stopping t then
           (* Wake the accept loop so the whole server winds down. *)
           (match Unix.shutdown listen_fd Unix.SHUTDOWN_RECEIVE with
           | () -> ()

@@ -32,7 +32,10 @@ val default_config : config
 type t
 
 val create : ?config:config -> unit -> t
-(** Starts the worker threads immediately. *)
+(** Starts the worker threads immediately.  Also ignores SIGPIPE
+    process-wide so a client that disconnects mid-response surfaces as
+    a counted write failure ([serve.client_disconnects], docs/OBS.md)
+    on that connection's thread instead of killing the process. *)
 
 val handle_line : t -> string -> string
 (** Evaluate one request line into one response line (no trailing

@@ -1,13 +1,68 @@
-(** Minimal blocking client for the daemon's Unix-socket transport
-    (used by [gnrfet_cli query] and the tests). *)
+(** Hardened blocking client for the daemon's Unix-socket transport
+    (used by [gnrfet_cli query], the campaign engine's serve executor
+    and the tests).
+
+    Every failure is typed — {!Robust_error.Client_timeout} or
+    {!Robust_error.Client_disconnected}, raised as
+    [Robust_error.Error] — and every failure path closes the socket
+    descriptor; the next call reconnects transparently.  {!request} is
+    a single attempt under a deadline; {!call} adds the retry policy: a
+    [busy] rejection is retried honoring the daemon's [retry_after_ms]
+    hint (exponential backoff + deterministic jitter otherwise), a
+    disconnect reconnects and retries, and a circuit breaker fails fast
+    after [breaker_threshold] consecutive connection-level failures so
+    a dead daemon costs microseconds, not timeouts (full policy table
+    in docs/CAMPAIGN.md).  Connecting also ignores SIGPIPE
+    process-wide, so writes on a dead socket surface as EPIPE → typed
+    disconnect instead of killing the process. *)
+
+type config = {
+  request_timeout_s : float;  (** per-request deadline (default 30) *)
+  max_attempts : int;
+      (** total attempts per {!call}, first one included (default 4) *)
+  backoff_base_ms : int;
+      (** backoff of the first retry without a daemon hint (default 50,
+          doubling per attempt) *)
+  backoff_max_ms : int;  (** backoff ceiling (default 2000) *)
+  breaker_threshold : int;
+      (** consecutive connection-level failures that open the breaker
+          (default 3) *)
+  breaker_cooldown_s : float;
+      (** how long an open breaker fails fast before allowing a new
+          attempt (default 5) *)
+  jitter_seed : int;
+      (** seed of the deterministic (splitmix64) jitter stream; two
+          clients with different seeds desynchronize their retries *)
+  sleep_ms : int -> unit;
+      (** how to wait between retries (default [Thread.delay]); tests
+          inject a recorder to assert the backoff schedule without
+          wall-clock waits *)
+}
+
+val default_config : config
 
 type t
 
-val connect : path:string -> t
-(** Raises [Unix.Unix_error] when the socket is absent or refusing. *)
+val connect : ?config:config -> path:string -> unit -> t
+(** Dial the daemon.  Raises [Unix.Unix_error] when the socket is
+    absent or refusing (callers polling for daemon startup match on
+    it); never leaks the descriptor on failure. *)
 
 val request : t -> Serve_protocol.request -> Serve_protocol.response
-(** Send one request line and block for its response line.  Raises
-    [Failure] on EOF or an unparseable response. *)
+(** One attempt: send one request line and block for its response line
+    under [request_timeout_s].  Raises [Robust_error.Error] with
+    [Client_timeout] (deadline missed; connection poisoned and closed)
+    or [Client_disconnected] (EOF, reset, unparseable response, or
+    reconnect failure).  A dead client reconnects first. *)
+
+val call : t -> Serve_protocol.request -> Serve_protocol.response
+(** {!request} under the retry policy described above.  Returns the
+    final response — including a [busy] error response when the daemon
+    stayed busy through [max_attempts] (the caller decides whether
+    that degrades to local generation).  Raises the last typed error
+    when retries are exhausted by disconnects, immediately on a
+    timeout, and [Client_disconnected] with detail
+    ["circuit breaker open"] while the breaker is open. *)
 
 val close : t -> unit
+(** Close the descriptor (idempotent; double close is benign). *)

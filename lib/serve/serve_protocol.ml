@@ -203,6 +203,85 @@ let table_to_json (t : Iv_table.t) =
              t.Iv_table.failed_points) );
     ]
 
+let float_array_of_json ~what j =
+  match Sjson.to_list j with
+  | None -> Error (Printf.sprintf "%s: expected an array of numbers" what)
+  | Some items ->
+    let* floats =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match Sjson.to_float item with
+          | Some f -> Ok (f :: acc)
+          | None -> Error (Printf.sprintf "%s: expected a number" what))
+        (Ok []) items
+    in
+    Ok (Array.of_list (List.rev floats))
+
+let matrix_of_json ~what j =
+  match Sjson.to_list j with
+  | None -> Error (Printf.sprintf "%s: expected an array of arrays" what)
+  | Some rows ->
+    let* arrays =
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          let* a = float_array_of_json ~what row in
+          Ok (a :: acc))
+        (Ok []) rows
+    in
+    Ok (Array.of_list (List.rev arrays))
+
+let table_of_json j =
+  match j with
+  | Sjson.Obj fields ->
+    let* key =
+      match Option.bind (field fields "key") Sjson.to_str with
+      | Some k -> Ok k
+      | None -> Error "table: missing string \"key\""
+    in
+    let req k of_json =
+      match field fields k with
+      | Some v -> of_json ~what:("table." ^ k) v
+      | None -> Error (Printf.sprintf "table: missing %S" k)
+    in
+    let* vg = req "vg" float_array_of_json in
+    let* vd = req "vd" float_array_of_json in
+    let* current = req "current" matrix_of_json in
+    let* charge = req "charge" matrix_of_json in
+    let* failed_points =
+      match field fields "failed_points" with
+      | None -> Ok []
+      | Some j ->
+        (match Sjson.to_list j with
+        | None -> Error "table.failed_points: expected an array"
+        | Some items ->
+          let* rev =
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match Sjson.to_list item with
+                | Some [ a; b ] ->
+                  (match (Sjson.to_int a, Sjson.to_int b) with
+                  | Some ivg, Some ivd -> Ok ((ivg, ivd) :: acc)
+                  | _ ->
+                    Error "table.failed_points: expected integer pairs")
+                | _ -> Error "table.failed_points: expected [ivg, ivd] pairs")
+              (Ok []) items
+          in
+          Ok (List.rev rev))
+    in
+    let rows_match m = Array.length m = Array.length vg in
+    let cols_match m =
+      Array.for_all (fun row -> Array.length row = Array.length vd) m
+    in
+    if not (rows_match current && rows_match charge) then
+      Error "table: matrix row count does not match the vg axis"
+    else if not (cols_match current && cols_match charge) then
+      Error "table: matrix column count does not match the vd axis"
+    else Ok { Iv_table.key; vg; vd; current; charge; failed_points }
+  | _ -> Error "table: expected a JSON object"
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
@@ -368,5 +447,8 @@ let error_of_robust (e : Robust_error.t) =
     | Robust_error.Cache_corrupt _ -> "cache_corrupt"
     | Robust_error.Injected_fault _ -> "injected_fault"
     | Robust_error.Unrecovered _ -> "unrecovered"
+    | Robust_error.Client_timeout _ -> "client_timeout"
+    | Robust_error.Client_disconnected _ -> "client_disconnected"
+    | Robust_error.Checkpoint_torn _ -> "checkpoint_torn"
   in
   { kind; detail = Robust_error.to_string e; retry_after_ms = None }

@@ -59,6 +59,14 @@ val table_to_json : Iv_table.t -> Sjson.t
 (** [{"key", "vg", "vd", "current", "charge", "failed_points"}] —
     failed points as [[ivg, ivd]] pairs (docs/ROBUST.md). *)
 
+val table_of_json : Sjson.t -> (Iv_table.t, string) result
+(** Inverse of {!table_to_json}, for clients reconstructing a full
+    table from a [table] response (the campaign engine's serve
+    executor).  Strict about shape: missing fields or matrix dimensions
+    that disagree with the axes are [Error]s, so a corrupted response
+    surfaces as a typed client failure instead of a downstream
+    out-of-bounds. *)
+
 (** {2 Responses} *)
 
 type error = {

@@ -16,6 +16,7 @@ let () =
       ("device:golden-trace", Test_golden_trace.suite);
       ("robust", Test_robust.suite);
       ("serve", Test_serve.suite);
+      ("campaign", Test_campaign.suite);
       ("circuit", Test_circuit.suite);
       ("cmos", Test_cmos.suite);
       ("core", Test_core.suite);

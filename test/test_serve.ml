@@ -431,7 +431,7 @@ let test_serve_unix_transport () =
   let th = Thread.create (fun () -> Serve.serve_unix server ~path) () in
   let deadline = Unix.gettimeofday () +. 5. in
   let rec connect () =
-    match Serve_client.connect ~path with
+    match Serve_client.connect ~path () with
     | c -> c
     | exception Unix.Unix_error _ ->
       if Unix.gettimeofday () > deadline then
